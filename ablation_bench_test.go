@@ -1,0 +1,127 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out: each one
+// toggles a single mechanism and reports the resulting host->MCN stream
+// bandwidth (or latency), isolating that mechanism's contribution.
+package mcn_test
+
+import (
+	"testing"
+
+	"github.com/mcn-arch/mcn"
+)
+
+// mcnStreamBps measures a single host->MCN TCP stream under opts.
+func mcnStreamBps(opts mcn.Options) float64 {
+	k := mcn.NewKernel()
+	s := mcn.NewMcnServer(k, 1, opts)
+	host, dimm := s.Endpoints()[0], s.McnEndpoints()[0]
+	const total = 4 << 20
+	var start, end mcn.Time
+	k.Go("server", func(p *mcn.Proc) {
+		l, _ := dimm.Node.Stack.Listen(5001)
+		c, _ := l.Accept(p)
+		start = p.Now()
+		c.RecvN(p, total)
+		end = p.Now()
+	})
+	k.Go("client", func(p *mcn.Proc) {
+		c, err := host.Node.Stack.Connect(p, dimm.IP, 5001)
+		if err != nil {
+			panic(err)
+		}
+		c.SendN(p, total)
+	})
+	k.RunFor(10 * mcn.Second)
+	if end == 0 {
+		panic("ablation stream did not finish")
+	}
+	return float64(total) / end.Sub(start).Seconds()
+}
+
+// BenchmarkAblationWriteCombining compares the write-combining SRAM
+// mapping against naive 8-byte uncached accesses (Sec. III-B's memory
+// mapping unit motivation).
+func BenchmarkAblationWriteCombining(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		wc := mcnStreamBps(mcn.MCN3.Options())
+		opts := mcn.MCN3.Options()
+		opts.UncachedCopies = true
+		uc := mcnStreamBps(opts)
+		b.ReportMetric(wc*8/1e9, "writecombine-gbps")
+		b.ReportMetric(uc*8/1e9, "uncached-gbps")
+		b.ReportMetric(wc/uc, "wc-speedup-x")
+	}
+}
+
+// BenchmarkAblationPollInterval sweeps the HR-timer period and reports the
+// 16B ping RTT at each setting (the latency/overhead trade-off of
+// Sec. IV-A's efficient polling discussion).
+func BenchmarkAblationPollInterval(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, iv := range []mcn.Duration{1 * mcn.Microsecond, 5 * mcn.Microsecond, 20 * mcn.Microsecond} {
+			opts := mcn.MCN0.Options()
+			opts.PollInterval = iv
+			k := mcn.NewKernel()
+			s := mcn.NewMcnServer(k, 1, opts)
+			rtts := mcn.PingSweep(k, s.Endpoints()[0], s.McnEndpoints()[0].IP, []int{16}, 5)
+			k.RunFor(mcn.Second)
+			b.ReportMetric(rtts[16].Microseconds(), "rtt-us-poll-"+iv.String())
+		}
+	}
+}
+
+// BenchmarkAblationMTU isolates the 9KB MTU (mcn3) from TSO (mcn4): it
+// reports stream bandwidth at 1.5KB and 9KB MTU with everything else at
+// the mcn2 feature set.
+func BenchmarkAblationMTU(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		small := mcnStreamBps(mcn.MCN2.Options())
+		big := mcnStreamBps(mcn.MCN3.Options())
+		b.ReportMetric(small*8/1e9, "mtu1500-gbps")
+		b.ReportMetric(big*8/1e9, "mtu9000-gbps")
+		b.ReportMetric(big/small, "jumbo-speedup-x")
+	}
+}
+
+// BenchmarkAblationInterrupt compares HR-timer polling against the ALERT_N
+// interrupt on 16B round trips (Sec. IV-B).
+func BenchmarkAblationInterrupt(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rtt := func(l mcn.OptLevel) float64 {
+			k := mcn.NewKernel()
+			s := mcn.NewMcnServer(k, 1, l.Options())
+			r := mcn.PingSweep(k, s.Endpoints()[0], s.McnEndpoints()[0].IP, []int{16}, 5)
+			k.RunFor(mcn.Second)
+			return r[16].Microseconds()
+		}
+		b.ReportMetric(rtt(mcn.MCN0), "polled-rtt-us")
+		b.ReportMetric(rtt(mcn.MCN1), "alertn-rtt-us")
+	}
+}
+
+// BenchmarkAblationDMA isolates the MCN-DMA engines: host CPU core-seconds
+// consumed to move the same stream with and without them (Sec. IV-B).
+func BenchmarkAblationDMA(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		busy := func(l mcn.OptLevel) float64 {
+			k := mcn.NewKernel()
+			s := mcn.NewMcnServer(k, 1, l.Options())
+			host, dimm := s.Endpoints()[0], s.McnEndpoints()[0]
+			k.Go("server", func(p *mcn.Proc) {
+				l, _ := dimm.Node.Stack.Listen(5001)
+				c, _ := l.Accept(p)
+				c.RecvN(p, 4<<20)
+			})
+			k.Go("client", func(p *mcn.Proc) {
+				c, err := host.Node.Stack.Connect(p, dimm.IP, 5001)
+				if err != nil {
+					panic(err)
+				}
+				c.SendN(p, 4<<20)
+			})
+			k.RunFor(10 * mcn.Second)
+			return s.Host.CPU.Busy.Busy.Seconds() * 1e3
+		}
+		b.ReportMetric(busy(mcn.MCN4), "cpu-copies-core-ms")
+		b.ReportMetric(busy(mcn.MCN5), "dma-core-ms")
+	}
+}

@@ -1,0 +1,172 @@
+// Benchmarks: one per table/figure of the paper (regenerating the result
+// each iteration), plus microbenchmarks of the substrate layers. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The figure benches report the headline metric of their figure via
+// b.ReportMetric in addition to wall time, so a bench run doubles as a
+// summary of the reproduction.
+package mcn_test
+
+import (
+	"testing"
+
+	"github.com/mcn-arch/mcn"
+)
+
+// BenchmarkFig8a regenerates Fig. 8(a): iperf bandwidth, mcn0..mcn5,
+// host-mcn and mcn-mcn, normalized to 10GbE.
+func BenchmarkFig8a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := mcn.Fig8a()
+		b.ReportMetric(r.Rows[mcn.MCN5].HostMcn, "mcn5-host-mcn-x")
+		b.ReportMetric(r.Rows[mcn.MCN0].HostMcn, "mcn0-host-mcn-x")
+	}
+}
+
+// BenchmarkFig8b regenerates Fig. 8(b): host-MCN ping RTT across payload
+// sizes.
+func BenchmarkFig8b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := mcn.Fig8b()
+		cut := 1 - float64(f.Rows[mcn.MCN0][16])/float64(f.Base16B)
+		b.ReportMetric(cut*100, "mcn0-16B-latency-cut-%")
+	}
+}
+
+// BenchmarkFig8c regenerates Fig. 8(c): MCN-MCN ping RTT.
+func BenchmarkFig8c(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := mcn.Fig8c()
+		cut := 1 - float64(f.Rows[mcn.MCN5][16])/float64(f.Base16B)
+		b.ReportMetric(cut*100, "mcn5-16B-latency-cut-%")
+	}
+}
+
+// BenchmarkTable3 regenerates Table III: the single-packet latency
+// breakdown.
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := mcn.Table3()
+		b.ReportMetric(r.Rows[1].Total, "mcn0-1.5KB-total-vs-10GbE")
+		b.ReportMetric(r.Rows[3].Total, "mcn0-9KB-total-vs-10GbE")
+	}
+}
+
+// benchWorkloads is the subset used by the workload-driven figure benches
+// (the full suite is available through cmd/mcn-experiments).
+var benchWorkloads = []string{"mg", "grep"}
+
+// BenchmarkFig9 regenerates Fig. 9: aggregate memory bandwidth scaling.
+func BenchmarkFig9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := mcn.Fig9(benchWorkloads, mcn.QuickScale)
+		b.ReportMetric(r.Avg[len(r.Avg)-1], "avg-8dimm-bandwidth-x")
+		b.ReportMetric(r.Max, "max-bandwidth-x")
+	}
+}
+
+// BenchmarkFig10 regenerates Fig. 10: energy vs equal-core scale-out.
+func BenchmarkFig10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := mcn.Fig10(benchWorkloads, mcn.QuickScale)
+		b.ReportMetric(r.AvgSaving[len(r.AvgSaving)-1]*100, "avg-8dimm-energy-saving-%")
+	}
+}
+
+// BenchmarkFig11 regenerates Fig. 11: NPB execution time, scale-up vs MCN.
+// It runs at the documented scale (0.3) — the crossover structure needs a
+// working set large enough for the memory wall to matter.
+func BenchmarkFig11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := mcn.Fig11([]string{"mg", "ep"}, 0.3)
+		b.ReportMetric((1-r.Mcn["mg"][3]/r.ScaleUp["mg"][3])*100, "mg-step3-improvement-%")
+	}
+}
+
+// BenchmarkHeadline regenerates the abstract's summary numbers.
+func BenchmarkHeadline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := mcn.Headline([]string{"mg"}, mcn.QuickScale)
+		b.ReportMetric(h.Throughput, "throughput-x")
+		b.ReportMetric(h.EnergyCut*100, "energy-saving-%")
+	}
+}
+
+// ---- Substrate microbenchmarks (simulator performance itself) ----
+
+// BenchmarkSimEvents measures raw event throughput of the DES kernel.
+func BenchmarkSimEvents(b *testing.B) {
+	k := mcn.NewKernel()
+	k.Go("ticker", func(p *mcn.Proc) {
+		for {
+			p.Sleep(mcn.Nanosecond)
+		}
+	})
+	b.ResetTimer()
+	k.RunFor(mcn.Duration(b.N) * mcn.Nanosecond)
+}
+
+// BenchmarkMcnTCPStream measures simulator wall cost per simulated MB
+// streamed host->MCN at mcn3.
+func BenchmarkMcnTCPStream(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		k := mcn.NewKernel()
+		s := mcn.NewMcnServer(k, 1, mcn.MCN3.Options())
+		host, dimm := s.Endpoints()[0], s.McnEndpoints()[0]
+		k.Go("server", func(p *mcn.Proc) {
+			l, _ := dimm.Node.Stack.Listen(5001)
+			c, _ := l.Accept(p)
+			c.RecvN(p, 1<<20)
+		})
+		k.Go("client", func(p *mcn.Proc) {
+			c, err := host.Node.Stack.Connect(p, dimm.IP, 5001)
+			if err != nil {
+				panic(err)
+			}
+			c.SendN(p, 1<<20)
+		})
+		k.RunFor(mcn.Second)
+	}
+	b.SetBytes(1 << 20)
+}
+
+// BenchmarkEthTCPStream is the 10GbE counterpart of BenchmarkMcnTCPStream.
+func BenchmarkEthTCPStream(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		k := mcn.NewKernel()
+		c := mcn.NewEthCluster(k, 2)
+		eps := c.Endpoints()
+		k.Go("server", func(p *mcn.Proc) {
+			l, _ := eps[1].Node.Stack.Listen(5001)
+			conn, _ := l.Accept(p)
+			conn.RecvN(p, 1<<20)
+		})
+		k.Go("client", func(p *mcn.Proc) {
+			conn, err := eps[0].Node.Stack.Connect(p, eps[1].IP, 5001)
+			if err != nil {
+				panic(err)
+			}
+			conn.SendN(p, 1<<20)
+		})
+		k.RunFor(mcn.Second)
+	}
+	b.SetBytes(1 << 20)
+}
+
+// BenchmarkMPIAllreduce measures an 8-rank allreduce on an MCN server.
+func BenchmarkMPIAllreduce(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		k := mcn.NewKernel()
+		s := mcn.NewMcnServer(k, 7, mcn.MCN3.Options())
+		w := mcn.LaunchMPI(k, s.Endpoints(), 7000, func(r *mcn.Rank) {
+			for j := 0; j < 10; j++ {
+				r.Allreduce(1024)
+			}
+		})
+		k.RunFor(10 * mcn.Second)
+		if !w.Done() {
+			b.Fatal("allreduce job did not finish")
+		}
+	}
+}

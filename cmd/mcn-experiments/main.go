@@ -1,0 +1,74 @@
+// Command mcn-experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	mcn-experiments -fig all            # everything (slow)
+//	mcn-experiments -fig 8a             # one figure
+//	mcn-experiments -fig 9 -scale 0.1 -workloads mg,grep
+//	mcn-experiments -headline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/mcn-arch/mcn"
+)
+
+func main() {
+	fig := flag.String("fig", "", "which figure/table to regenerate: 8a, 8b, 8c, t3, 9, 10, 11, all")
+	headline := flag.Bool("headline", false, "compute the abstract's headline numbers")
+	discussion := flag.Bool("discussion", false, "run the Sec. VII TCP-overhead / fast-transport comparison")
+	scale := flag.Float64("scale", float64(mcn.QuickScale), "working-set multiplier for figs 9-11")
+	workloadList := flag.String("workloads", "", "comma-separated workload subset (default: full suite)")
+	flag.Parse()
+
+	if !*headline && !*discussion && *fig == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	var names []string
+	if *workloadList != "" {
+		names = strings.Split(*workloadList, ",")
+	}
+	s := mcn.Scale(*scale)
+
+	run := func(f string) {
+		switch f {
+		case "8a":
+			fmt.Print(mcn.Fig8a())
+		case "8b":
+			fmt.Print(mcn.Fig8b())
+		case "8c":
+			fmt.Print(mcn.Fig8c())
+		case "t3", "table3", "3":
+			fmt.Print(mcn.Table3())
+		case "9":
+			fmt.Print(mcn.Fig9(names, s))
+		case "10":
+			fmt.Print(mcn.Fig10(names, s))
+		case "11":
+			fmt.Print(mcn.Fig11(names, s))
+		default:
+			fmt.Fprintf(os.Stderr, "unknown figure %q\n", f)
+			os.Exit(2)
+		}
+		fmt.Println()
+	}
+
+	if *fig == "all" {
+		for _, f := range []string{"8a", "8b", "8c", "t3", "9", "10", "11"} {
+			run(f)
+		}
+	} else if *fig != "" {
+		run(*fig)
+	}
+	if *headline {
+		fmt.Print(mcn.Headline(names, s))
+	}
+	if *discussion {
+		fmt.Print(mcn.Discussion())
+	}
+}

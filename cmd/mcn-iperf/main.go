@@ -1,0 +1,65 @@
+// Command mcn-iperf measures TCP bandwidth over the simulated MCN server
+// or a 10GbE cluster, mirroring the paper's iperf methodology (one server,
+// several clients).
+//
+// Usage:
+//
+//	mcn-iperf -mode host-mcn -level 3 -dimms 8 -clients 4
+//	mcn-iperf -mode mcn-mcn  -level 5
+//	mcn-iperf -mode eth      -clients 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/mcn-arch/mcn"
+)
+
+func main() {
+	mode := flag.String("mode", "host-mcn", "host-mcn | mcn-mcn | eth")
+	level := flag.Int("level", 0, "MCN optimization level 0..5 (Table I)")
+	dimms := flag.Int("dimms", 8, "number of MCN DIMMs")
+	clients := flag.Int("clients", 4, "number of iperf clients")
+	durMs := flag.Int("duration", 18, "measurement window (simulated ms)")
+	flag.Parse()
+
+	if *level < 0 || *level > 5 {
+		fmt.Fprintln(os.Stderr, "level must be 0..5")
+		os.Exit(2)
+	}
+	opts := mcn.OptLevel(*level).Options()
+	k := mcn.NewKernel()
+	warm := 6 * mcn.Millisecond
+	dur := mcn.Duration(*durMs) * mcn.Millisecond
+
+	var res *mcn.IperfResult
+	switch *mode {
+	case "host-mcn":
+		s := mcn.NewMcnServer(k, *dimms, opts)
+		server := s.Endpoints()[0]
+		res = mcn.Iperf(k, server, s.McnEndpoints()[:*clients], 5201, warm, dur)
+	case "mcn-mcn":
+		s := mcn.NewMcnServer(k, *dimms, opts)
+		eps := s.Endpoints()
+		server := eps[1] // first MCN node
+		cl := []mcn.Endpoint{eps[0]}
+		cl = append(cl, eps[2:2+*clients-1]...)
+		res = mcn.Iperf(k, server, cl, 5201, warm, dur)
+	case "eth":
+		c := mcn.NewEthCluster(k, *clients+1)
+		eps := c.Endpoints()
+		res = mcn.Iperf(k, eps[0], eps[1:], 5201, warm, dur)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+	k.RunFor(warm + dur + 10*mcn.Millisecond)
+
+	fmt.Printf("mode=%s level=mcn%d clients=%d\n", *mode, *level, *clients)
+	fmt.Printf("aggregate goodput: %8.2f Gbps\n", res.GoodputBps*8/1e9)
+	for i, pc := range res.PerClient {
+		fmt.Printf("  client %d:        %8.2f Gbps\n", i, pc*8/1e9)
+	}
+}

@@ -1,0 +1,54 @@
+// Command mcn-ping measures round-trip latency, mirroring the paper's
+// Fig. 8(b)/(c) methodology.
+//
+// Usage:
+//
+//	mcn-ping -mode host-mcn -level 0
+//	mcn-ping -mode mcn-mcn  -level 5
+//	mcn-ping -mode eth
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/mcn-arch/mcn"
+)
+
+func main() {
+	mode := flag.String("mode", "host-mcn", "host-mcn | mcn-mcn | eth")
+	level := flag.Int("level", 0, "MCN optimization level 0..5")
+	count := flag.Int("count", 5, "pings per payload size")
+	flag.Parse()
+
+	sizes := []int{16, 256, 1024, 4096, 8192}
+	opts := mcn.OptLevel(*level).Options()
+	k := mcn.NewKernel()
+
+	var from mcn.Endpoint
+	var to mcn.IP
+	switch *mode {
+	case "host-mcn":
+		s := mcn.NewMcnServer(k, 2, opts)
+		from, to = s.Endpoints()[0], s.McnEndpoints()[0].IP
+	case "mcn-mcn":
+		s := mcn.NewMcnServer(k, 2, opts)
+		from, to = s.McnEndpoints()[0], s.McnEndpoints()[1].IP
+	case "eth":
+		c := mcn.NewEthCluster(k, 2)
+		eps := c.Endpoints()
+		from, to = eps[0], eps[1].IP
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+	res := mcn.PingSweep(k, from, to, sizes, *count)
+	k.RunFor(mcn.Second)
+
+	fmt.Printf("mode=%s level=mcn%d\n", *mode, *level)
+	fmt.Printf("%8s %12s\n", "payload", "avg RTT")
+	for _, s := range sizes {
+		fmt.Printf("%7dB %12v\n", s, res[s])
+	}
+}

@@ -1,0 +1,86 @@
+// Command mcn-trace runs a small MCN scenario with a packet capture
+// attached and either prints the tcpdump-style rendering or writes a
+// libpcap file readable by Wireshark/tcpdump.
+//
+// Usage:
+//
+//	mcn-trace -scenario ping                 # print the capture
+//	mcn-trace -scenario tcp -o capture.pcap  # write a pcap file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/mcn-arch/mcn"
+)
+
+func main() {
+	scenario := flag.String("scenario", "ping", "ping | tcp | mpi")
+	level := flag.Int("level", 0, "MCN optimization level 0..5")
+	out := flag.String("o", "", "write a pcap file instead of printing")
+	max := flag.Int("max", 256, "capture buffer size (frames)")
+	flag.Parse()
+
+	k := mcn.NewKernel()
+	s := mcn.NewMcnServer(k, 2, mcn.OptLevel(*level).Options())
+	tap := mcn.NewTracer(*max)
+	tap.CaptureBytes = *out != ""
+	s.Mcns[0].Stack.Tap = tap
+
+	switch *scenario {
+	case "ping":
+		k.Go("ping", func(p *mcn.Proc) {
+			s.Host.Stack.Ping(p, s.Mcns[0].IP, 56, mcn.Second)
+			s.Mcns[0].Stack.Ping(p, s.Mcns[1].IP, 56, mcn.Second)
+		})
+	case "tcp":
+		k.Go("server", func(p *mcn.Proc) {
+			l, _ := s.Mcns[0].Node.Stack.Listen(5001)
+			c, _ := l.Accept(p)
+			c.RecvN(p, 8192)
+			c.Close(p)
+		})
+		k.Go("client", func(p *mcn.Proc) {
+			c, err := s.Host.Stack.Connect(p, s.Mcns[0].IP, 5001)
+			if err != nil {
+				panic(err)
+			}
+			c.SendN(p, 8192)
+			c.Close(p)
+		})
+	case "mpi":
+		eps := s.Endpoints()
+		mcn.LaunchMPI(k, eps, 7000, func(r *mcn.Rank) {
+			if r.ID == 0 {
+				for i := 1; i < r.W.Size(); i++ {
+					r.RecvData(i)
+				}
+			} else {
+				r.SendData(0, []byte("hello from rank"))
+			}
+		})
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scenario %q\n", *scenario)
+		os.Exit(2)
+	}
+	k.RunFor(100 * mcn.Millisecond)
+
+	if *out == "" {
+		fmt.Printf("captured %d frames on %s's MCN interface:\n", len(tap.Records), s.Mcns[0].Node.Name)
+		fmt.Print(tap.Dump())
+		return
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := tap.WritePcap(f); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d frames to %s\n", len(tap.Records), *out)
+}

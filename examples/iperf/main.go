@@ -1,0 +1,39 @@
+// iperf example: reproduce the flavor of Fig. 8(a) interactively — run the
+// paper's iperf setup (one server, four clients) on a 10GbE cluster and on
+// MCN servers at two optimization levels, and print the comparison.
+package main
+
+import (
+	"fmt"
+
+	"github.com/mcn-arch/mcn"
+)
+
+func run(build func(k *mcn.Kernel) (mcn.Endpoint, []mcn.Endpoint)) float64 {
+	k := mcn.NewKernel()
+	server, clients := build(k)
+	res := mcn.Iperf(k, server, clients, 5201, 6*mcn.Millisecond, 18*mcn.Millisecond)
+	k.RunFor(40 * mcn.Millisecond)
+	return res.GoodputBps
+}
+
+func main() {
+	eth := run(func(k *mcn.Kernel) (mcn.Endpoint, []mcn.Endpoint) {
+		c := mcn.NewEthCluster(k, 5)
+		eps := c.Endpoints()
+		return eps[0], eps[1:]
+	})
+	mcn0 := run(func(k *mcn.Kernel) (mcn.Endpoint, []mcn.Endpoint) {
+		s := mcn.NewMcnServer(k, 8, mcn.MCN0.Options())
+		return s.Endpoints()[0], s.McnEndpoints()[:4]
+	})
+	mcn5 := run(func(k *mcn.Kernel) (mcn.Endpoint, []mcn.Endpoint) {
+		s := mcn.NewMcnServer(k, 8, mcn.MCN5.Options())
+		return s.Endpoints()[0], s.McnEndpoints()[:4]
+	})
+
+	fmt.Println("iperf: 1 server + 4 clients, aggregate goodput")
+	fmt.Printf("  10GbE cluster:        %6.2f Gbps  (1.00x)\n", eth*8/1e9)
+	fmt.Printf("  MCN server at mcn0:   %6.2f Gbps  (%.2fx)\n", mcn0*8/1e9, mcn0/eth)
+	fmt.Printf("  MCN server at mcn5:   %6.2f Gbps  (%.2fx)\n", mcn5*8/1e9, mcn5/eth)
+}

@@ -1,0 +1,59 @@
+// Quickstart: build an MCN server with four MCN DIMMs, ping a DIMM from
+// the host, and stream data over an ordinary TCP socket that happens to
+// run over the memory channel.
+package main
+
+import (
+	"fmt"
+
+	"github.com/mcn-arch/mcn"
+)
+
+func main() {
+	k := mcn.NewKernel()
+
+	// An MCN-enabled server: one Table II host, four MCN DIMMs running
+	// the fully optimized driver stack (mcn5).
+	server := mcn.NewMcnServer(k, 4, mcn.MCN5.Options())
+	host := server.Endpoints()[0]
+	dimm := server.McnEndpoints()[0]
+
+	// Latency: ping the first MCN node from the host.
+	rtts := mcn.PingSweep(k, host, dimm.IP, []int{16, 1024, 8192}, 3)
+
+	// Bandwidth: a plain TCP stream, host -> MCN node.
+	const total = 8 << 20
+	var start, end mcn.Time
+	k.Go("server", func(p *mcn.Proc) {
+		l, err := dimm.Node.Stack.Listen(5001)
+		if err != nil {
+			panic(err)
+		}
+		c, err := l.Accept(p)
+		if err != nil {
+			panic(err)
+		}
+		start = p.Now()
+		c.RecvN(p, total)
+		end = p.Now()
+	})
+	k.Go("client", func(p *mcn.Proc) {
+		c, err := host.Node.Stack.Connect(p, dimm.IP, 5001)
+		if err != nil {
+			panic(err)
+		}
+		c.SendN(p, total)
+		c.Close(p)
+	})
+
+	k.RunFor(2 * mcn.Second)
+
+	fmt.Println("MCN quickstart (host <-> MCN DIMM over the memory channel)")
+	for _, sz := range []int{16, 1024, 8192} {
+		fmt.Printf("  ping %5dB payload: %v round trip\n", sz, rtts[sz])
+	}
+	gbps := float64(total) * 8 / end.Sub(start).Seconds() / 1e9
+	fmt.Printf("  TCP stream: %d MB in %v = %.2f Gbps\n", total>>20, end.Sub(start), gbps)
+	fmt.Printf("  host channel traffic: %.1f MB over the DIMM's memory channel\n",
+		float64(server.Host.Channels[0].Bytes.Total)/1e6)
+}

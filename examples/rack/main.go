@@ -1,0 +1,69 @@
+// rack demonstrates the paper's multi-host picture (Sec. III-B) and its
+// rack-replacement proposal (Sec. VII): two MCN-enabled servers behind a
+// top-of-rack switch, with MCN nodes on different hosts talking through
+// their hosts' conventional NICs — same sockets, same MPI, zero special
+// configuration.
+package main
+
+import (
+	"fmt"
+
+	"github.com/mcn-arch/mcn"
+)
+
+func main() {
+	k := mcn.NewKernel()
+	rack := mcn.NewMcnRack(k, 2, 2, mcn.MCN3.Options())
+
+	// Latency matrix: intra-server, cross-server host, cross-server DIMM.
+	src := rack.Servers[0].Mcns[0]
+	sameHost := rack.Servers[0].Mcns[1]
+	otherDimm := rack.Servers[1].Mcns[0]
+
+	type probe struct {
+		name string
+		ip   mcn.IP
+	}
+	probes := []probe{
+		{"same server, other DIMM", sameHost.IP},
+		{"other server's DIMM", otherDimm.IP},
+	}
+	rtts := make([]mcn.Duration, len(probes))
+	k.Go("pinger", func(p *mcn.Proc) {
+		for i, pr := range probes {
+			if rtt, ok := src.Stack.Ping(p, pr.ip, 56, mcn.Second); ok {
+				rtts[i] = rtt
+			}
+		}
+	})
+	k.RunFor(100 * mcn.Millisecond)
+
+	fmt.Println("MCN rack: 2 servers x 2 DIMMs behind one ToR switch")
+	fmt.Printf("ping from %s:\n", src.Name)
+	for i, pr := range probes {
+		fmt.Printf("  -> %-24s %10v\n", pr.name, rtts[i])
+	}
+
+	// One MPI job over every MCN node in the rack.
+	eps := rack.AllMcnEndpoints()
+	var report []string
+	w := mcn.LaunchMPI(k, eps, 7000, func(r *mcn.Rank) {
+		if r.ID == 0 {
+			for i := 1; i < r.W.Size(); i++ {
+				report = append(report, string(r.RecvData(i)))
+			}
+		} else {
+			r.SendData(0, []byte(fmt.Sprintf("rank %d reporting", r.ID)))
+		}
+	})
+	for i := 0; i < 1000 && !w.Done(); i++ {
+		k.RunFor(10 * mcn.Millisecond)
+	}
+	fmt.Println("rack-wide MPI gather:")
+	for _, line := range report {
+		fmt.Println("  " + line)
+	}
+	fmt.Printf("cross-host frames: %d egress (F4), %d ingress (bridge)\n",
+		rack.Servers[0].Host.Driver.SentNIC+rack.Servers[1].Host.Driver.SentNIC,
+		rack.Servers[0].Host.Driver.BridgedIn+rack.Servers[1].Host.Driver.BridgedIn)
+}

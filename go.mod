@@ -1,0 +1,3 @@
+module github.com/mcn-arch/mcn
+
+go 1.22

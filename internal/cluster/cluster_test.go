@@ -1,0 +1,133 @@
+package cluster
+
+import (
+	"testing"
+
+	"github.com/mcn-arch/mcn/internal/core"
+	"github.com/mcn-arch/mcn/internal/netstack"
+	"github.com/mcn-arch/mcn/internal/node"
+	"github.com/mcn-arch/mcn/internal/sim"
+)
+
+func TestMcnServerTopology(t *testing.T) {
+	k := sim.NewKernel()
+	s := NewMcnServer(k, 8, core.MCN0.Options())
+	if len(s.Mcns) != 8 {
+		t.Fatalf("mcns=%d", len(s.Mcns))
+	}
+	// DIMMs spread evenly over the host's 2 channels.
+	perCh := map[int]int{}
+	for _, m := range s.Mcns {
+		perCh[m.Dimm.ChannelIdx]++
+	}
+	if perCh[0] != 4 || perCh[1] != 4 {
+		t.Fatalf("channel distribution %v", perCh)
+	}
+	if got := len(s.Endpoints()); got != 9 {
+		t.Fatalf("endpoints=%d, want host+8", got)
+	}
+	if got := len(s.McnEndpoints()); got != 8 {
+		t.Fatalf("mcn endpoints=%d", got)
+	}
+	k.Shutdown()
+}
+
+func TestMcnServerAllPairsPing(t *testing.T) {
+	k := sim.NewKernel()
+	s := NewMcnServer(k, 4, core.MCN1.Options())
+	type res struct {
+		ok  bool
+		rtt sim.Duration
+	}
+	results := make(chan res, 16)
+	_ = results
+	var fails int
+	k.Go("pinger", func(p *sim.Proc) {
+		// host -> each MCN node
+		for _, m := range s.Mcns {
+			if _, ok := s.Host.Stack.Ping(p, m.IP, 64, sim.Second); !ok {
+				fails++
+			}
+		}
+		// each MCN node -> host and -> next MCN node
+		for i, m := range s.Mcns {
+			if _, ok := m.Stack.Ping(p, s.Host.HostMcnIP(), 64, sim.Second); !ok {
+				fails++
+			}
+			next := s.Mcns[(i+1)%len(s.Mcns)]
+			if next != m {
+				if _, ok := m.Stack.Ping(p, next.IP, 64, sim.Second); !ok {
+					fails++
+				}
+			}
+		}
+	})
+	k.RunUntil(sim.Time(5 * sim.Second))
+	if fails != 0 {
+		t.Fatalf("%d pings failed", fails)
+	}
+	k.Shutdown()
+}
+
+func TestEthClusterPing(t *testing.T) {
+	k := sim.NewKernel()
+	c := NewEthCluster(k, 5, node.HostConfig(""))
+	var fails int
+	k.Go("pinger", func(p *sim.Proc) {
+		for j := 1; j < 5; j++ {
+			if _, ok := c.Nodes[0].Stack.Ping(p, netstack.IPv4(10, 0, 0, byte(j+1)), 64, sim.Second); !ok {
+				fails++
+			}
+		}
+	})
+	k.RunUntil(sim.Time(5 * sim.Second))
+	if fails != 0 {
+		t.Fatalf("%d pings failed", fails)
+	}
+	if c.Switch.Forwarded == 0 {
+		t.Fatal("switch idle")
+	}
+	k.Shutdown()
+}
+
+func TestScaleUpLoopback(t *testing.T) {
+	k := sim.NewKernel()
+	h := NewScaleUp(k, 16)
+	if h.CPU.NumCores() != 16 {
+		t.Fatalf("cores=%d", h.CPU.NumCores())
+	}
+	var got int
+	k.Go("srv", func(p *sim.Proc) {
+		l, _ := h.Stack.Listen(80)
+		c, _ := l.Accept(p)
+		got = c.RecvAll(p)
+	})
+	k.Go("cli", func(p *sim.Proc) {
+		c, err := h.Stack.Connect(p, netstack.Loopback, 80)
+		if err != nil {
+			panic(err)
+		}
+		c.SendN(p, 100000)
+		c.Close(p)
+	})
+	k.RunUntil(sim.Time(sim.Second))
+	if got != 100000 {
+		t.Fatalf("loopback moved %d bytes", got)
+	}
+	k.Shutdown()
+}
+
+func TestAggregateDRAMCounters(t *testing.T) {
+	k := sim.NewKernel()
+	s := NewMcnServer(k, 2, core.MCN0.Options())
+	k.Go("touch", func(p *sim.Proc) {
+		s.Host.MemStream(p, 1<<20, false)
+		s.Mcns[0].MemStream(p, 1<<20, false)
+	})
+	// The MCN polling agent re-arms forever; bound the run.
+	k.RunUntil(sim.Time(10 * sim.Millisecond))
+	if s.TotalDRAMBytes() < 2<<20 {
+		t.Fatalf("aggregate bytes=%d", s.TotalDRAMBytes())
+	}
+	k.Shutdown()
+}

@@ -1,0 +1,98 @@
+package cluster_test
+
+import (
+	"testing"
+
+	"github.com/mcn-arch/mcn/internal/cluster"
+	"github.com/mcn-arch/mcn/internal/core"
+	"github.com/mcn-arch/mcn/internal/mpi"
+	"github.com/mcn-arch/mcn/internal/sim"
+)
+
+func TestRackCrossHostMcnPing(t *testing.T) {
+	// An MCN node on host0 pings an MCN node on host1: the packet leaves
+	// through host0's forwarding engine (F4), crosses the ToR switch, and
+	// enters host1 through the uplink bridge.
+	k := sim.NewKernel()
+	r := cluster.NewMcnRack(k, 2, 2, core.MCN1.Options())
+	src := r.Servers[0].Mcns[0]
+	dst := r.Servers[1].Mcns[1]
+	var rtt sim.Duration
+	var ok bool
+	k.Go("ping", func(p *sim.Proc) {
+		rtt, ok = src.Stack.Ping(p, dst.IP, 56, sim.Second)
+	})
+	k.RunUntil(sim.Time(2 * sim.Second))
+	if !ok {
+		t.Fatal("cross-host MCN ping lost")
+	}
+	if r.Servers[0].Host.Driver.SentNIC == 0 {
+		t.Fatal("egress never used F4 (conventional NIC)")
+	}
+	if r.Servers[1].Host.Driver.BridgedIn == 0 {
+		t.Fatal("ingress never used the uplink bridge")
+	}
+	// Crossing the rack must cost more than an intra-server ping but
+	// still be bounded.
+	if rtt < 5*sim.Microsecond || rtt > 200*sim.Microsecond {
+		t.Fatalf("cross-host rtt=%v", rtt)
+	}
+	k.Shutdown()
+}
+
+func TestRackIntraAndInterHostTCP(t *testing.T) {
+	k := sim.NewKernel()
+	r := cluster.NewMcnRack(k, 2, 1, core.MCN3.Options())
+	a := r.Servers[0].Mcns[0]
+	b := r.Servers[1].Mcns[0]
+	var got int
+	k.Go("server", func(p *sim.Proc) {
+		l, _ := b.Stack.Listen(5001)
+		c, _ := l.Accept(p)
+		got = c.RecvN(p, 200<<10)
+	})
+	k.Go("client", func(p *sim.Proc) {
+		c, err := a.Stack.Connect(p, b.IP, 5001)
+		if err != nil {
+			panic(err)
+		}
+		c.SendN(p, 200<<10)
+	})
+	k.RunUntil(sim.Time(10 * sim.Second))
+	if got != 200<<10 {
+		t.Fatalf("cross-host TCP moved %d bytes", got)
+	}
+	k.Shutdown()
+}
+
+func TestRackWideMPI(t *testing.T) {
+	// The paper's unification claim at rack scale: one MPI job across
+	// every MCN node of two servers, no per-node configuration.
+	k := sim.NewKernel()
+	r := cluster.NewMcnRack(k, 2, 2, core.MCN3.Options())
+	eps := r.AllMcnEndpoints()
+	if len(eps) != 4 {
+		t.Fatalf("endpoints=%d", len(eps))
+	}
+	sum := 0
+	w := mpi.Launch(k, eps, 7000, func(rk *mpi.Rank) {
+		if rk.ID == 0 {
+			for i := 1; i < 4; i++ {
+				d := rk.RecvData(i)
+				sum += int(d[0])
+			}
+		} else {
+			rk.SendData(0, []byte{byte(rk.ID)})
+		}
+	})
+	for i := 0; i < 600 && !w.Done(); i++ {
+		k.RunFor(100 * sim.Millisecond)
+	}
+	if !w.Done() {
+		t.Fatal("rack-wide MPI did not finish")
+	}
+	if sum != 1+2+3 {
+		t.Fatalf("sum=%d", sum)
+	}
+	k.Shutdown()
+}

@@ -1,0 +1,35 @@
+// Package contutto models the paper's proof-of-concept prototype
+// (Sec. V-VI-C): an experimental buffered DIMM — a Stratix V FPGA carrying
+// a NIOS II soft processor at 266MHz, BRAM for the MCN SRAM buffer, and
+// two DDR3-1066 DIMMs — plugged into an IBM POWER8 S824L host through the
+// Differential Memory Interface. Its purpose matches the paper's: showing
+// that the MCN drivers and an unmodified MPI run across a host and an
+// extremely weak MCN processor, not producing performance numbers.
+package contutto
+
+import (
+	"github.com/mcn-arch/mcn/internal/core"
+	"github.com/mcn-arch/mcn/internal/node"
+	"github.com/mcn-arch/mcn/internal/sim"
+)
+
+// Prototype is the POWER8 + ConTutto MCN system.
+type Prototype struct {
+	K    *sim.Kernel
+	Host *node.Host
+	Nios *node.McnNode
+}
+
+// New builds the prototype: one host, one FPGA MCN DIMM running the
+// baseline (mcn0) driver stack.
+func New(k *sim.Kernel) *Prototype {
+	h := node.NewHost(k, node.HostConfig("power8"))
+	mcns := h.AttachMCN(1, core.MCN0.Options(), node.ContuttoConfig("nios2"))
+	d := mcns[0].Dimm
+	// FPGA-grade interface: the soft MCN interface and Avalon interconnect
+	// are an order of magnitude slower than the ASIC target.
+	d.HostLat = 150 * sim.Nanosecond
+	d.McnLat = 200 * sim.Nanosecond
+	d.McnBW = sim.GBps(0.8)
+	return &Prototype{K: k, Host: h, Nios: mcns[0]}
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"github.com/mcn-arch/mcn/internal/dram"
+	"github.com/mcn-arch/mcn/internal/sim"
+	"github.com/mcn-arch/mcn/internal/sram"
+	"github.com/mcn-arch/mcn/internal/stats"
+)
+
+// Dimm is the MCN DIMM hardware: the SRAM communication buffer inside the
+// buffer device, reachable from the host through the DIMM's (global) memory
+// channel and from the MCN processor through its memory controller's
+// on-chip interconnect (Fig. 3(a)).
+type Dimm struct {
+	K    *sim.Kernel
+	Name string
+	// Buf is the 96KB SRAM with the Fig. 4 layout.
+	Buf *sram.Buffer
+	// Global is the host memory channel this DIMM is installed on. SRAM
+	// window accesses from the host contend on it with everything else
+	// on the channel.
+	Global *dram.Channel
+	// ChannelIdx is the index of Global among the host's channels (used
+	// by the interleave-aware copy and the per-channel DMA engines).
+	ChannelIdx int
+	// HostLat is the buffer-device access latency seen from the host MC.
+	HostLat sim.Duration
+	// McnLat / McnBW describe the MCN-processor side of the SRAM (on-chip
+	// interconnect).
+	McnLat sim.Duration
+	McnBW  float64 // bytes/sec
+
+	// rxIRQ is wired by the MCN-side driver: the MCN interface raises it
+	// when the host publishes packets into the RX ring (Sec. III-A).
+	rxIRQ func()
+	// alertN is wired by the host-side driver when the ALERT_N
+	// optimization is on: the DIMM asserts it when tx-poll goes 0->1.
+	alertN func()
+
+	// Stats.
+	HostReads  stats.Counter // bytes the host read from the SRAM
+	HostWrites stats.Counter // bytes the host wrote to the SRAM
+	McnAccess  stats.Counter // bytes moved on the MCN side
+	RxIRQs     int64
+	Alerts     int64
+}
+
+// NewDimm creates an MCN DIMM on the given host channel.
+func NewDimm(k *sim.Kernel, name string, global *dram.Channel, channelIdx int) *Dimm {
+	return &Dimm{
+		K: k, Name: name,
+		Buf:        sram.NewDefault(),
+		Global:     global,
+		ChannelIdx: channelIdx,
+		HostLat:    40 * sim.Nanosecond,
+		McnLat:     25 * sim.Nanosecond,
+		McnBW:      sim.GBps(25.6),
+	}
+}
+
+// SetRxIRQ wires the interrupt line into the MCN processor.
+func (d *Dimm) SetRxIRQ(fn func()) { d.rxIRQ = fn }
+
+// SetAlertN wires the ALERT_N line toward the host memory controller.
+func (d *Dimm) SetAlertN(fn func()) { d.alertN = fn }
+
+// RaiseRxIRQ fires the MCN-side interrupt (host calls this after setting
+// rx-poll).
+func (d *Dimm) RaiseRxIRQ() {
+	d.RxIRQs++
+	if d.rxIRQ != nil {
+		d.rxIRQ()
+	}
+}
+
+// AssertAlert fires ALERT_N toward the host (MCN-side driver calls this
+// after setting tx-poll when the optimization is enabled).
+func (d *Dimm) AssertAlert() {
+	d.Alerts++
+	if d.alertN != nil {
+		d.alertN()
+	}
+}
+
+// HostAccess charges a host-side access to the SRAM window: bus bursts on
+// the DIMM's global channel plus the buffer-device latency. When
+// writeCombining is false the access degrades to 8-byte uncached
+// transactions, each of which still occupies a full burst slot on the DDR
+// bus (this is why the naive ioremap mapping is slow, Sec. III-B).
+func (d *Dimm) HostAccess(p *sim.Proc, bytes int, write, writeCombining bool) {
+	if bytes <= 0 {
+		return
+	}
+	busBytes := bytes
+	if !writeCombining {
+		// Every double word becomes its own burst on the wire.
+		busBytes = (bytes + 7) / 8 * 64
+	}
+	d.Global.BusTransfer(p, busBytes, d.HostLat, write)
+	if write {
+		d.HostWrites.Add(p.Now(), int64(bytes))
+	} else {
+		d.HostReads.Add(p.Now(), int64(bytes))
+	}
+}
+
+// McnAccessCost charges an MCN-processor-side access to the SRAM through
+// the on-chip interconnect.
+func (d *Dimm) McnAccessCost(p *sim.Proc, bytes int) {
+	if bytes <= 0 {
+		return
+	}
+	p.Sleep(d.McnLat + sim.AtRate(int64(bytes), d.McnBW))
+	d.McnAccess.Add(p.Now(), int64(bytes))
+}

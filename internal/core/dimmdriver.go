@@ -1,0 +1,263 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/mcn-arch/mcn/internal/cpu"
+	"github.com/mcn-arch/mcn/internal/dram"
+	"github.com/mcn-arch/mcn/internal/netstack"
+	"github.com/mcn-arch/mcn/internal/sim"
+	"github.com/mcn-arch/mcn/internal/sram"
+)
+
+// DimmDriver is the MCN-side driver: the single virtual Ethernet interface
+// of an MCN node (Sec. III-B). Transmit performs T1-T3 into the SRAM TX
+// ring through the MCN processor's memory controller; the receive path is
+// driven by the MCN interface's hardware interrupt and copies packets from
+// the RX ring into kernel memory with memcpy (Sec. III-A).
+type DimmDriver struct {
+	K     *sim.Kernel
+	CPU   *cpu.CPU
+	Stack *netstack.Stack
+	Opts  Options
+	Costs DriverCosts
+
+	dimm  *Dimm
+	local *dram.Channel // the MCN node's private memory channel
+	port  *HostPort     // the host-side peer (for MAC identity)
+	dma   *DMAEngine
+	// qdisc decouples Transmit from ring-full retries (see HostPort).
+	qdisc *sim.Queue[qdiscEntry]
+	// rxq implements receive packet steering: the IRQ drain only copies
+	// messages out of the SRAM; protocol processing is spread across
+	// per-flow queues serviced on different cores (Linux RPS), keeping
+	// one hot flow from serializing the whole node behind one core.
+	rxq []*sim.Queue[rxEntry]
+
+	// TraceMinBytes / LastTrace mirror the host driver's Table III hooks
+	// for the host->MCN direction.
+	TraceMinBytes int
+	LastTrace     *McnStamps
+
+	// FastRx receives non-IPv4 frames (see HostDriver.FastRx).
+	FastRx func(p *sim.Proc, frame []byte)
+
+	// Stats.
+	TxMsgs, RxMsgs int64
+	TxBusy         int64
+	draining       bool
+}
+
+// NewDimmDriver creates the MCN-side driver for dimm, attaching it to the
+// MCN node's CPU, stack and local memory channel. port is the host-side
+// counterpart created by HostDriver.AddDimm (it defines the interface
+// MACs).
+func NewDimmDriver(k *sim.Kernel, c *cpu.CPU, s *netstack.Stack, local *dram.Channel, d *Dimm, port *HostPort, opts Options, costs DriverCosts) *DimmDriver {
+	drv := &DimmDriver{
+		K: k, CPU: c, Stack: s, Opts: opts, Costs: costs,
+		dimm: d, local: local, port: port,
+		TraceMinBytes: 1 << 30,
+	}
+	if opts.DMA {
+		drv.dma = NewDMAEngine(k, d.Name+"/mcn-dma")
+	}
+	drv.qdisc = sim.NewQueue[qdiscEntry](k, 0)
+	k.Go(d.Name+"/mcn-qdisc", drv.qdiscService)
+	for i := 0; i < c.NumCores(); i++ {
+		q := sim.NewQueue[rxEntry](k, 0)
+		drv.rxq = append(drv.rxq, q)
+		k.Go(fmt.Sprintf("%s/rps%d", d.Name, i), func(p *sim.Proc) {
+			for {
+				e, ok := q.Get(p)
+				if !ok {
+					return
+				}
+				drv.CPU.Exec(p, drv.Costs.RxPerMsgCycles)
+				if e.st != nil {
+					e.st.DriverRxEnd = p.Now()
+					drv.LastTrace = e.st
+				}
+				if eth, ok2 := netstack.ParseEth(e.msg); ok2 &&
+					eth.Type != netstack.EtherTypeIPv4 && eth.Type != netstack.EtherTypeARP &&
+					drv.FastRx != nil {
+					drv.FastRx(p, e.msg)
+					continue
+				}
+				drv.Stack.RxFrame(p, drv, e.msg)
+			}
+		})
+	}
+	d.SetRxIRQ(func() {
+		c.RaiseIRQ(d.Name+"/rx", drv.drainRX)
+	})
+	return drv
+}
+
+type rxEntry struct {
+	msg []byte
+	st  *McnStamps
+}
+
+// flowQueue picks the RPS queue for a frame by hashing its flow identity.
+func (drv *DimmDriver) flowQueue(msg []byte) *sim.Queue[rxEntry] {
+	h := uint32(2166136261)
+	eth, ok := netstack.ParseEth(msg)
+	if ok && eth.Type == netstack.EtherTypeIPv4 {
+		if ip, ok2 := netstack.ParseIPv4(msg[netstack.EthHeaderBytes:]); ok2 {
+			for _, b := range ip.Src {
+				h = (h ^ uint32(b)) * 16777619
+			}
+			for _, b := range ip.Dst {
+				h = (h ^ uint32(b)) * 16777619
+			}
+			if ip.Proto == netstack.ProtoTCP || ip.Proto == netstack.ProtoUDP {
+				body := msg[netstack.EthHeaderBytes+netstack.IPv4HeaderBytes:]
+				if len(body) >= 4 {
+					for _, b := range body[:4] {
+						h = (h ^ uint32(b)) * 16777619
+					}
+				}
+			}
+		}
+	}
+	return drv.rxq[int(h%uint32(len(drv.rxq)))]
+}
+
+func (drv *DimmDriver) qdiscService(p *sim.Proc) {
+	for {
+		e, ok := drv.qdisc.Get(p)
+		if !ok {
+			return
+		}
+		drv.pushTX(p, e.msg, e.st, true)
+	}
+}
+
+// ---- netstack.NetDev ----
+
+// Name returns the MCN-side interface name.
+func (drv *DimmDriver) Name() string { return drv.dimm.Name + "/mcn0" }
+
+// MAC returns the MCN-side interface MAC.
+func (drv *DimmDriver) MAC() netstack.MAC { return drv.port.mcnMAC }
+
+// MTU returns the configured MTU.
+func (drv *DimmDriver) MTU() int { return drv.Opts.MTU }
+
+// Features mirrors the host port: TSO bounded by the SRAM ring, checksum
+// handled by the channel's ECC/CRC when bypass is on.
+func (drv *DimmDriver) Features() netstack.Features {
+	return netstack.Features{
+		TSO:         drv.Opts.TSO,
+		MaxTSOBytes: 32 << 10,
+		HWChecksum:  drv.Opts.ChecksumBypass,
+	}
+}
+
+// Transmit performs T1-T3: check space, write the MCN message into the TX
+// ring, update tx-end and tx-poll (with fences), and — with the ALERT_N
+// optimization — assert the DIMM interrupt toward the host.
+func (drv *DimmDriver) Transmit(p *sim.Proc, f netstack.Frame) {
+	var st *McnStamps
+	if len(f.Data) >= drv.TraceMinBytes {
+		st = &McnStamps{DriverTxStart: p.Now()}
+	}
+	drv.CPU.Exec(p, drv.Costs.TxSetupCycles)
+	if drv.Opts.DMA {
+		drv.CPU.Exec(p, drv.Costs.DMASetupCycles)
+		drv.dma.Submit(func(dp *sim.Proc) {
+			drv.pushTX(dp, f.Data, st, false)
+		})
+		return
+	}
+	// dev_queue_xmit: enqueue and return; the qdisc service performs
+	// T1-T3 so a receive context sending an ACK can never block on the
+	// ring.
+	drv.qdisc.TryPut(qdiscEntry{msg: f.Data, st: st})
+}
+
+// pushTX writes one MCN message into the TX ring; the NETDEV_TX_BUSY
+// retry releases the core between attempts so the receive IRQ path cannot
+// be starved by transmitters spinning on a full ring.
+func (drv *DimmDriver) pushTX(p *sim.Proc, msg []byte, st *McnStamps, onCPU bool) {
+	d := drv.dimm
+	for {
+		pushed := false
+		attempt := func() {
+			if d.Buf.TX.Free() < sram.HeaderBytes+len(msg) {
+				return
+			}
+			// The copy reads the packet from the node's DRAM and writes
+			// it into the SRAM through the on-chip interconnect.
+			drv.local.Read(p, 0x1000_0000, len(msg))
+			d.McnAccessCost(p, sram.HeaderBytes+len(msg))
+			// The fence stalls the core that is already held by this
+			// copy; a nested Exec would try to take a second core.
+			p.Sleep(drv.CPU.CyclesDur(drv.Costs.FenceCycles))
+			pushed = d.Buf.TX.Push(msg)
+			if !pushed {
+				return
+			}
+			drv.port.txMeta = append(drv.port.txMeta, st)
+			if st != nil {
+				st.DriverTxEnd = p.Now()
+			}
+			drv.TxMsgs++
+			wasIdle := !d.Buf.TxPoll
+			d.Buf.TxPoll = true
+			if wasIdle && drv.Opts.DimmInterrupt {
+				d.AssertAlert()
+			}
+		}
+		if onCPU {
+			drv.CPU.ExecWhile(p, attempt)
+		} else {
+			attempt()
+		}
+		if pushed {
+			return
+		}
+		// T2 precondition failed: NETDEV_TX_BUSY, retry (core released).
+		drv.TxBusy++
+		p.Sleep(retryInterval)
+	}
+}
+
+// drainRX empties the RX ring: for each MCN message, copy it from the SRAM
+// into kernel memory and hand it to the network stack.
+func (drv *DimmDriver) drainRX(p *sim.Proc) {
+	if drv.draining {
+		return
+	}
+	drv.draining = true
+	defer func() { drv.draining = false }()
+	d := drv.dimm
+	for {
+		for !d.Buf.RX.Empty() {
+			msg := d.Buf.RX.Pop()
+			var st *McnStamps
+			if len(drv.port.rxMeta) > 0 {
+				st = drv.port.rxMeta[0]
+				drv.port.rxMeta = drv.port.rxMeta[1:]
+			}
+			if st != nil {
+				st.DriverRxStart = p.Now()
+			}
+			drv.CPU.ExecWhile(p, func() {
+				d.McnAccessCost(p, sram.HeaderBytes+len(msg))
+				drv.local.Write(p, 0x1800_0000, len(msg))
+			})
+			drv.RxMsgs++
+			// Hand off to the flow's RPS queue; protocol processing
+			// runs on another core while this drain keeps copying.
+			drv.flowQueue(msg).TryPut(rxEntry{msg: msg, st: st})
+		}
+		// Clear rx-poll, then re-check: a message may have landed
+		// between the last pop and the clear.
+		d.Buf.RxPoll = false
+		if d.Buf.RX.Empty() {
+			return
+		}
+		d.Buf.RxPoll = true
+	}
+}

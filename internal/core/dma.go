@@ -1,0 +1,40 @@
+package core
+
+import "github.com/mcn-arch/mcn/internal/sim"
+
+// DMAEngine is an MCN-DMA engine (Sec. IV-B): it executes SRAM<->memory
+// copy jobs so the CPUs only pay descriptor-setup cost. The host
+// instantiates one engine per memory channel (with, conceptually, one ring
+// per MCN node on that channel); each MCN node instantiates one for its
+// side. Jobs on one engine serialize, modeling the engine's single copy
+// pipeline.
+type DMAEngine struct {
+	k    *sim.Kernel
+	name string
+	jobs *sim.Queue[func(p *sim.Proc)]
+
+	// JobsDone counts completed transfers.
+	JobsDone int64
+}
+
+// NewDMAEngine creates an engine and starts its service process.
+func NewDMAEngine(k *sim.Kernel, name string) *DMAEngine {
+	e := &DMAEngine{k: k, name: name, jobs: sim.NewQueue[func(p *sim.Proc)](k, 0)}
+	k.Go(name, e.run)
+	return e
+}
+
+// Submit enqueues a transfer job; it returns immediately (the caller has
+// only programmed a descriptor).
+func (e *DMAEngine) Submit(fn func(p *sim.Proc)) { e.jobs.TryPut(fn) }
+
+func (e *DMAEngine) run(p *sim.Proc) {
+	for {
+		fn, ok := e.jobs.Get(p)
+		if !ok {
+			return
+		}
+		fn(p)
+		e.JobsDone++
+	}
+}

@@ -1,0 +1,589 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/mcn-arch/mcn/internal/cpu"
+	"github.com/mcn-arch/mcn/internal/netstack"
+	"github.com/mcn-arch/mcn/internal/sim"
+	"github.com/mcn-arch/mcn/internal/sram"
+)
+
+// McnStamps carries per-stage timestamps for one traced MCN message; the
+// MCN rows of Table III come from these. MCN has no DMA-TX/PHY/DMA-RX
+// stages (the memory channel is the PHY and the copies are the driver).
+type McnStamps struct {
+	DriverTxStart sim.Time // sender driver begins T1
+	DriverTxEnd   sim.Time // message fully in the SRAM ring
+	DriverRxStart sim.Time // receiver begins reading the ring
+	DriverRxEnd   sim.Time // handed to the network stack
+}
+
+// retryInterval is how long a driver waits before retrying after
+// NETDEV_TX_BUSY (ring full).
+const retryInterval = 2 * sim.Microsecond
+
+// HostDriver is the host-side MCN driver: it creates one virtual Ethernet
+// interface per MCN DIMM, runs the polling agent (HR-timer or ALERT_N
+// driven), executes receive steps R1-R5, transmit steps T1-T3 toward the
+// DIMMs, and routes packets with the forwarding rules F1-F4 (Sec. III-B).
+type HostDriver struct {
+	K     *sim.Kernel
+	CPU   *cpu.CPU
+	Stack *netstack.Stack
+	Opts  Options
+	Costs DriverCosts
+
+	ports  []*HostPort
+	byMAC  map[netstack.MAC]*HostPort // host-side and MCN-side MACs
+	uplink netstack.NetDev            // conventional NIC for F4
+	timer  *cpu.HRTimer
+	dmas   map[int]*DMAEngine // per host channel index
+
+	// MACBase offsets the interface MACs this driver assigns; hosts in a
+	// multi-server rack use distinct bases so MCN-side MACs stay unique
+	// across the L2 domain. Set before the first AddDimm.
+	MACBase uint32
+
+	// TraceMinBytes arms Table III tracing for messages at least this
+	// large; LastTrace holds the most recent completed trace.
+	TraceMinBytes int
+	LastTrace     *McnStamps
+
+	// FastRx, when set, receives frames whose EtherType is not IPv4 and
+	// whose destination is a host-side interface MAC — the attachment
+	// point for the Sec. VII user-space-style MCN transport that bypasses
+	// TCP/IP.
+	FastRx func(p *sim.Proc, src *HostPort, frame []byte)
+
+	// Stats.
+	DeliveredHost int64 // F1
+	Broadcasts    int64 // F2
+	RelayedDimm   int64 // F3
+	SentNIC       int64 // F4
+	BridgedIn     int64 // NIC -> DIMM (cross-host ingress)
+	TxBusy        int64
+	PollRounds    int64
+	PollHits      int64
+}
+
+// NewHostDriver creates the host-side driver. Call AddDimm for each MCN
+// DIMM, optionally SetUplink, then Start.
+func NewHostDriver(k *sim.Kernel, c *cpu.CPU, s *netstack.Stack, opts Options, costs DriverCosts) *HostDriver {
+	if opts.PollInterval == 0 {
+		opts.PollInterval = DefaultPollInterval
+	}
+	return &HostDriver{
+		K: k, CPU: c, Stack: s, Opts: opts, Costs: costs,
+		byMAC:         make(map[netstack.MAC]*HostPort),
+		dmas:          make(map[int]*DMAEngine),
+		TraceMinBytes: 1 << 30,
+	}
+}
+
+// HostPort is the host-side virtual Ethernet interface for one MCN DIMM.
+// It implements netstack.NetDev: Transmit performs the host->DIMM T1-T3
+// sequence into the DIMM's RX ring.
+type HostPort struct {
+	drv     *HostDriver
+	dimm    *Dimm
+	name    string
+	hostMAC netstack.MAC // this interface's MAC (F1 match)
+	mcnMAC  netstack.MAC // the MCN-side interface's MAC (F3 match)
+	iface   *netstack.Iface
+	// qdisc decouples the stack (and the forwarding engine) from the
+	// ring-full retry loop: dev_queue_xmit enqueues and returns; the
+	// qdisc service process performs T1-T3. Without this, the receive
+	// path that must free the opposite ring can block on this one — a
+	// deadlock Linux's queueing discipline prevents by construction.
+	qdisc *sim.Queue[qdiscEntry]
+	// draining guards against concurrent drains of the same TX ring;
+	// alertPending latches an ALERT_N that arrived while a drain was
+	// active so its wakeup is never lost.
+	draining     bool
+	alertPending bool
+	// rx metadata queues parallel the SRAM rings for traced messages.
+	txMeta []*McnStamps
+	rxMeta []*McnStamps
+}
+
+type qdiscEntry struct {
+	msg []byte
+	st  *McnStamps
+}
+
+// AddDimm registers an MCN DIMM: hostIP is the host's address on the MCN
+// subnet (shared by all ports), mcnIP the DIMM's address. idx must be
+// unique per DIMM.
+func (hd *HostDriver) AddDimm(d *Dimm, hostIP, mcnIP netstack.IP, idx int) *HostPort {
+	port := &HostPort{
+		drv:     hd,
+		dimm:    d,
+		name:    fmt.Sprintf("mcn%d", idx),
+		hostMAC: netstack.NewMAC(0x10000 + hd.MACBase + uint32(idx)),
+		mcnMAC:  netstack.NewMAC(0x20000 + hd.MACBase + uint32(idx)),
+	}
+	ifc := hd.Stack.AddIface(port, hostIP, netstack.MaskAll)
+	ifc.Peer = mcnIP
+	ifc.HasPeer = true
+	ifc.Neighbors[mcnIP] = port.mcnMAC
+	port.iface = ifc
+	port.qdisc = sim.NewQueue[qdiscEntry](hd.K, 0)
+	hd.K.Go(port.name+"/qdisc", port.qdiscService)
+	hd.ports = append(hd.ports, port)
+	hd.byMAC[port.hostMAC] = port
+	hd.byMAC[port.mcnMAC] = port
+	if hd.Opts.DimmInterrupt {
+		d.SetAlertN(func() { hd.onAlert(port) })
+	}
+	if hd.Opts.DMA {
+		if _, ok := hd.dmas[d.ChannelIdx]; !ok {
+			hd.dmas[d.ChannelIdx] = NewDMAEngine(hd.K, fmt.Sprintf("host-dma-ch%d", d.ChannelIdx))
+		}
+	}
+	return port
+}
+
+// Ports returns the registered host-side ports.
+func (hd *HostDriver) Ports() []*HostPort { return hd.ports }
+
+// SetUplink wires the conventional NIC used by forwarding rule F4 and
+// installs the ingress bridge so frames arriving on that NIC for this
+// host's MCN nodes are relayed into their DIMMs — the mechanism that lets
+// MCN nodes on different hosts communicate (Sec. III-B).
+func (hd *HostDriver) SetUplink(dev netstack.NetDev) {
+	hd.uplink = dev
+	hd.Stack.Bridge = func(p *sim.Proc, rxDev netstack.NetDev, frame []byte) bool {
+		if rxDev != dev {
+			return false
+		}
+		return hd.bridgeFromUplink(p, frame)
+	}
+}
+
+// bridgeFromUplink handles a frame arriving on the conventional NIC. It
+// reports whether the frame was consumed (relayed to a DIMM).
+func (hd *HostDriver) bridgeFromUplink(p *sim.Proc, frame []byte) bool {
+	eth, ok := netstack.ParseEth(frame)
+	if !ok {
+		return false
+	}
+	if eth.Dst.IsBroadcast() {
+		// Copy toward every local MCN node; the local stack still
+		// processes it too (return false).
+		for _, port := range hd.ports {
+			hd.relay(p, port, frame, nil)
+		}
+		hd.BridgedIn++
+		return false
+	}
+	if tgt, ok2 := hd.byMAC[eth.Dst]; ok2 && eth.Dst == tgt.mcnMAC {
+		hd.BridgedIn++
+		hd.relay(p, tgt, frame, nil)
+		return true
+	}
+	return false
+}
+
+// Start arms the polling agent. With the ALERT_N optimization the periodic
+// timer is unnecessary (Sec. IV-B).
+func (hd *HostDriver) Start() {
+	if hd.Opts.DimmInterrupt {
+		return
+	}
+	hd.timer = hd.CPU.NewHRTimer(hd.Opts.PollInterval, hd.pollAll)
+	hd.timer.Start()
+}
+
+// Stop disarms the polling agent.
+func (hd *HostDriver) Stop() {
+	if hd.timer != nil {
+		hd.timer.Stop()
+	}
+}
+
+// ---- netstack.NetDev for HostPort ----
+
+// Name returns the interface name.
+func (p *HostPort) Name() string { return p.name }
+
+// MAC returns the host-side interface MAC.
+func (p *HostPort) MAC() netstack.MAC { return p.hostMAC }
+
+// McnMAC returns the MCN-side peer's MAC.
+func (p *HostPort) McnMAC() netstack.MAC { return p.mcnMAC }
+
+// Dimm returns the underlying DIMM.
+func (p *HostPort) Dimm() *Dimm { return p.dimm }
+
+// MTU returns the configured MTU (1.5KB, or 9KB for mcn3+).
+func (p *HostPort) MTU() int { return p.drv.Opts.MTU }
+
+// Features advertises TSO (bounded by the SRAM ring) and, with checksum
+// bypass, "hardware" checksumming: the ECC/CRC-protected memory channel
+// makes software checksums redundant (Sec. IV-A).
+func (p *HostPort) Features() netstack.Features {
+	return netstack.Features{
+		TSO:         p.drv.Opts.TSO,
+		MaxTSOBytes: 32 << 10,
+		HWChecksum:  p.drv.Opts.ChecksumBypass,
+	}
+}
+
+// Transmit sends one packet from the host toward the DIMM's RX ring. It
+// never blocks on ring space: the packet is queued (dev_queue_xmit) and
+// the qdisc service or the MCN-DMA engine performs T1-T3.
+func (p *HostPort) Transmit(pr *sim.Proc, f netstack.Frame) {
+	hd := p.drv
+	var st *McnStamps
+	if len(f.Data) >= hd.TraceMinBytes {
+		st = &McnStamps{DriverTxStart: pr.Now()}
+	}
+	hd.CPU.Exec(pr, hd.Costs.TxSetupCycles)
+	if hd.Opts.DMA {
+		// Program a descriptor; the channel's DMA engine moves the data.
+		hd.CPU.Exec(pr, hd.Costs.DMASetupCycles)
+		hd.dmas[p.dimm.ChannelIdx].Submit(func(dp *sim.Proc) {
+			p.writeToDimm(dp, f.Data, st, false)
+		})
+		return
+	}
+	// The CPU performs the copy itself (memcpy_to_mcn) from the qdisc
+	// service context.
+	p.qdisc.TryPut(qdiscEntry{msg: f.Data, st: st})
+}
+
+func (p *HostPort) qdiscService(pr *sim.Proc) {
+	for {
+		e, ok := p.qdisc.Get(pr)
+		if !ok {
+			return
+		}
+		p.writeToDimm(pr, e.msg, e.st, true)
+	}
+}
+
+// writeToDimm performs T1-T3 into the DIMM's RX ring. onCPU selects
+// whether a host core is held for the duration of the copy. The
+// NETDEV_TX_BUSY retry releases the core between attempts: a transmitter
+// spinning on a full ring must not starve the drain path that would empty
+// it.
+func (p *HostPort) writeToDimm(pr *sim.Proc, msg []byte, st *McnStamps, onCPU bool) {
+	hd := p.drv
+	d := p.dimm
+	for {
+		pushed := false
+		attempt := func() {
+			// T1: read rx-start / rx-end (one control line).
+			d.HostAccess(pr, 64, false, true)
+			if d.Buf.RX.Free() < sram.HeaderBytes+len(msg) {
+				return
+			}
+			// T2: write length + packet with write combining (or 8-byte
+			// uncached stores in the ablation).
+			d.HostAccess(pr, sram.HeaderBytes+len(msg), true, !hd.Opts.UncachedCopies)
+			// Fence: stall in place; onCPU bodies already hold a core,
+			// so a nested Exec would deadlock a single-core processor.
+			pr.Sleep(hd.CPU.CyclesDur(hd.Costs.FenceCycles))
+			// T3: update rx-end and set rx-poll.
+			d.HostAccess(pr, 64, true, true)
+			// Push re-validates space: a concurrent writer may have won
+			// the race while our T2 was on the bus.
+			pushed = d.Buf.RX.Push(msg)
+			if !pushed {
+				return
+			}
+			p.rxMeta = append(p.rxMeta, st)
+			if st != nil {
+				st.DriverTxEnd = pr.Now()
+			}
+			wasIdle := !d.Buf.RxPoll
+			d.Buf.RxPoll = true
+			if wasIdle {
+				d.RaiseRxIRQ()
+			}
+		}
+		if onCPU {
+			hd.CPU.ExecWhile(pr, attempt)
+		} else {
+			attempt()
+		}
+		if pushed {
+			return
+		}
+		// NETDEV_TX_BUSY: ring full, retry shortly (core released).
+		hd.TxBusy++
+		pr.Sleep(retryInterval)
+	}
+}
+
+// ---- Polling agent and receive path (R1-R5) ----
+
+// pollAll is the HR-timer tasklet: scan the tx-poll flag of every MCN DIMM
+// (Sec. III-B "polling agent"). Ports with pending packets are drained in
+// parallel service contexts, one per interface, the way per-interface NAPI
+// contexts spread over cores; the core count still bounds real
+// parallelism.
+func (hd *HostDriver) pollAll(p *sim.Proc) {
+	hd.PollRounds++
+	for _, port := range hd.ports {
+		hd.CPU.Exec(p, hd.Costs.PollCheckCycles)
+		// Reading the flag is one uncached access to the SRAM window.
+		port.dimm.HostAccess(p, 8, false, false)
+		if port.dimm.Buf.TxPoll && !port.draining {
+			hd.PollHits++
+			port := port
+			hd.K.Go(port.name+"/drain", func(dp *sim.Proc) {
+				hd.drain(dp, port)
+			})
+		}
+	}
+}
+
+// onAlert services an ALERT_N interrupt: the MC knows which channel
+// asserted, so only that channel's DIMMs are polled (Sec. IV-B).
+func (hd *HostDriver) onAlert(src *HostPort) {
+	if hd.Opts.DMA {
+		// The channel DMA engine reads the ring; the CPU is interrupted
+		// only when packets are ready in host memory.
+		if src.draining {
+			src.alertPending = true
+			return
+		}
+		hd.dmas[src.dimm.ChannelIdx].Submit(func(dp *sim.Proc) {
+			hd.drainDMA(dp, src)
+		})
+		return
+	}
+	hd.CPU.RaiseIRQ("alertn", func(p *sim.Proc) {
+		for _, port := range hd.ports {
+			if port.dimm.ChannelIdx != src.dimm.ChannelIdx {
+				continue
+			}
+			hd.CPU.Exec(p, hd.Costs.PollCheckCycles)
+			if !port.dimm.Buf.TxPoll {
+				continue
+			}
+			if port.draining {
+				// Latch the edge: the active drain rechecks before it
+				// exits, so this wakeup cannot be lost.
+				port.alertPending = true
+				continue
+			}
+			port := port
+			hd.K.Go(port.name+"/drain", func(dp *sim.Proc) {
+				hd.drain(dp, port)
+			})
+		}
+	})
+}
+
+// napiLinger is how long a drain context re-polls an empty ring before
+// exiting (the NAPI-style hybrid that keeps sustained streams from paying
+// one interrupt per message).
+const napiLinger = 2 * sim.Microsecond
+
+// drain implements R1-R5 on one DIMM's TX ring, forwarding each message.
+// After the ring empties it clears tx-poll (R5) and lingers briefly in
+// polling mode; a message that slips in during the clear is caught by the
+// re-check rather than lost.
+func (hd *HostDriver) drain(p *sim.Proc, port *HostPort) {
+	if port.draining {
+		return
+	}
+	port.draining = true
+	defer func() { port.draining = false }()
+	d := port.dimm
+	// R1: read tx-start and tx-end.
+	d.HostAccess(p, 64, false, true)
+	idle := 0
+	for {
+		for !d.Buf.TX.Empty() {
+			idle = 0
+			msg := d.Buf.TX.Pop()
+			var st *McnStamps
+			if len(port.txMeta) > 0 {
+				st = port.txMeta[0]
+				port.txMeta = port.txMeta[1:]
+			}
+			if st != nil {
+				st.DriverRxStart = p.Now()
+			}
+			// R2-R3: read the message through the cacheable mapping,
+			// then invalidate the lines (Sec. III-B "memory mapping
+			// unit").
+			hd.CPU.ExecWhile(p, func() {
+				d.HostAccess(p, sram.HeaderBytes+len(msg), false, !hd.Opts.UncachedCopies)
+			})
+			lines := int64(len(msg)/64 + 1)
+			hd.CPU.Exec(p, hd.Costs.InvalidateCyclesPerLine*lines+hd.Costs.RxPerMsgCycles)
+			// R4: hand to the packet forwarding engine.
+			hd.forward(p, port, msg, st)
+		}
+		// R5: all consumed; reset tx-poll.
+		d.Buf.TxPoll = false
+		d.HostAccess(p, 8, true, false)
+		if idle >= 2 {
+			// A message (and its edge-triggered alert) may have raced
+			// the flag clear; leave only when truly drained.
+			if port.alertPending || !d.Buf.TX.Empty() {
+				port.alertPending = false
+				idle = 0
+				continue
+			}
+			return
+		}
+		idle++
+		p.Sleep(napiLinger)
+	}
+}
+
+// drainDMA is the mcn5 receive path: the DMA engine copies the ring into
+// host memory, then interrupts the CPU to route the packets.
+func (hd *HostDriver) drainDMA(dp *sim.Proc, port *HostPort) {
+	if port.draining {
+		return
+	}
+	port.draining = true
+	d := port.dimm
+	d.HostAccess(dp, 64, false, true)
+	type pkt struct {
+		msg []byte
+		st  *McnStamps
+	}
+	var pkts []pkt
+	for {
+		for !d.Buf.TX.Empty() {
+			msg := d.Buf.TX.Pop()
+			var st *McnStamps
+			if len(port.txMeta) > 0 {
+				st = port.txMeta[0]
+				port.txMeta = port.txMeta[1:]
+			}
+			if st != nil {
+				st.DriverRxStart = dp.Now()
+			}
+			d.HostAccess(dp, sram.HeaderBytes+len(msg), false, true)
+			pkts = append(pkts, pkt{msg, st})
+		}
+		d.Buf.TxPoll = false
+		d.HostAccess(dp, 8, true, false)
+		// Catch a message (or a latched alert) that raced the flag clear.
+		if d.Buf.TX.Empty() && !port.alertPending {
+			break
+		}
+		port.alertPending = false
+	}
+	port.draining = false
+	if len(pkts) == 0 {
+		return
+	}
+	hd.CPU.RaiseIRQ("mcn-dma-rx", func(p *sim.Proc) {
+		for _, pk := range pkts {
+			hd.CPU.Exec(p, hd.Costs.RxPerMsgCycles)
+			hd.forward(p, port, pk.msg, pk.st)
+		}
+	})
+}
+
+// DebugState renders per-port driver state for diagnosing stalls.
+func (hd *HostDriver) DebugState() string {
+	var b strings.Builder
+	for _, port := range hd.ports {
+		fmt.Fprintf(&b, "%s: draining=%v qdisc=%d txMeta=%d ringTX=%d ringRX=%d txpoll=%v rxpoll=%v\n",
+			port.name, port.draining, port.qdisc.Len(), len(port.txMeta),
+			port.dimm.Buf.TX.Used(), port.dimm.Buf.RX.Used(),
+			port.dimm.Buf.TxPoll, port.dimm.Buf.RxPoll)
+	}
+	fmt.Fprintf(&b, "host cores in use=%d/%d queue=%d\n", hd.CPU.Cores.InUse(), hd.CPU.Cores.Capacity(), hd.CPU.Cores.QueueLen())
+	return b.String()
+}
+
+// relay hands a frame to another DIMM's transmit machinery without ever
+// blocking the calling (receive) context.
+func (hd *HostDriver) relay(p *sim.Proc, tgt *HostPort, frame []byte, st *McnStamps) {
+	if hd.Opts.DMA {
+		hd.CPU.Exec(p, hd.Costs.DMASetupCycles)
+		hd.dmas[tgt.dimm.ChannelIdx].Submit(func(dp *sim.Proc) {
+			tgt.writeToDimm(dp, frame, st, false)
+		})
+		return
+	}
+	tgt.qdisc.TryPut(qdiscEntry{msg: frame, st: st})
+}
+
+// forward implements the packet forwarding engine rules F1-F4.
+func (hd *HostDriver) forward(p *sim.Proc, src *HostPort, frame []byte, st *McnStamps) {
+	hd.CPU.Exec(p, hd.Costs.ForwardCycles)
+	eth, ok := netstack.ParseEth(frame)
+	if !ok {
+		return
+	}
+	if eth.Type != netstack.EtherTypeIPv4 && eth.Type != netstack.EtherTypeARP {
+		// Non-IP traffic: the fast-path transport (Sec. VII) or nothing.
+		if eth.Dst == src.hostMAC && hd.FastRx != nil {
+			if st != nil {
+				st.DriverRxEnd = p.Now()
+				hd.LastTrace = st
+			}
+			hd.FastRx(p, src, frame)
+			return
+		}
+		if tgt, ok2 := hd.byMAC[eth.Dst]; ok2 && tgt != src && eth.Dst == tgt.mcnMAC {
+			hd.RelayedDimm++
+			hd.relay(p, tgt, frame, nil)
+		}
+		return
+	}
+	switch {
+	case eth.Dst == src.hostMAC:
+		// F1: for this host.
+		hd.DeliveredHost++
+		if st != nil {
+			st.DriverRxEnd = p.Now()
+			hd.LastTrace = st
+		}
+		hd.Stack.RxFrame(p, src, frame)
+	case eth.Dst.IsBroadcast():
+		// F2: deliver locally, relay to every other MCN node, and send
+		// out the conventional NIC.
+		hd.Broadcasts++
+		hd.Stack.RxFrame(p, src, frame)
+		for _, port := range hd.ports {
+			if port != src {
+				hd.relay(p, port, frame, nil)
+			}
+		}
+		if hd.uplink != nil {
+			hd.uplink.Transmit(p, netstack.Frame{Data: frame})
+		}
+	default:
+		if tgt, ok2 := hd.byMAC[eth.Dst]; ok2 {
+			if tgt == src {
+				return // a node talking to itself through us: drop
+			}
+			if eth.Dst == tgt.mcnMAC {
+				// F3: MCN-to-MCN relay through the host. With MCN-DMA
+				// the outbound copy is offloaded to the target
+				// channel's engine, exactly like a host transmit.
+				hd.RelayedDimm++
+				if st != nil {
+					st.DriverRxEnd = p.Now()
+					hd.LastTrace = st
+				}
+				hd.relay(p, tgt, frame, nil)
+				return
+			}
+			// Addressed to another host-side interface MAC: deliver up.
+			hd.DeliveredHost++
+			hd.Stack.RxFrame(p, tgt, frame)
+			return
+		}
+		// F4: unknown MAC, hand to the conventional NIC (dev_queue_xmit).
+		if hd.uplink != nil {
+			hd.SentNIC++
+			hd.uplink.Transmit(p, netstack.Frame{Data: frame})
+		}
+	}
+}

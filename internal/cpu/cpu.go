@@ -1,0 +1,194 @@
+// Package cpu models a multi-core processor running an operating system
+// kernel, at the granularity the MCN paper's results depend on: cycle costs
+// charged on a finite set of cores, hardware interrupts, softirq/tasklet
+// deferred work, and high-resolution timers.
+//
+// A "task" here is any stretch of driver or protocol work; it occupies one
+// core for a duration derived from a cycle count at the core's clock, or
+// for the duration of a modeled memory operation (for copies bounded by the
+// memory system rather than the pipeline).
+package cpu
+
+import (
+	"github.com/mcn-arch/mcn/internal/sim"
+	"github.com/mcn-arch/mcn/internal/stats"
+)
+
+// OSCosts collects the fixed cycle costs of kernel mechanisms. Values are
+// order-of-magnitude figures from Linux micro-benchmarks; experiments vary
+// them in ablations.
+type OSCosts struct {
+	IRQEntryCycles      int64 // interrupt entry: save state, dispatch
+	IRQExitCycles       int64 // interrupt return
+	TaskletRunCycles    int64 // softirq dispatch overhead per tasklet
+	HRTimerCycles       int64 // hrtimer interrupt routine body
+	SyscallCycles       int64 // user/kernel crossing
+	WakeupCycles        int64 // waking a blocked task (scheduler)
+	ContextSwitchCycles int64
+}
+
+// DefaultOSCosts returns the costs used by the Table II configuration.
+func DefaultOSCosts() OSCosts {
+	return OSCosts{
+		IRQEntryCycles:      1200,
+		IRQExitCycles:       800,
+		TaskletRunCycles:    300,
+		HRTimerCycles:       400,
+		SyscallCycles:       400,
+		WakeupCycles:        900,
+		ContextSwitchCycles: 1500,
+	}
+}
+
+// CPU is a multi-core processor with an OS kernel.
+type CPU struct {
+	K     *sim.Kernel
+	Name  string
+	Freq  float64 // Hz
+	Cores *sim.Resource
+	Costs OSCosts
+	// Busy accumulates core-seconds of execution for energy accounting.
+	Busy *stats.BusyMeter
+
+	softq *sim.Queue[func(p *sim.Proc)]
+}
+
+// New creates a CPU with the given core count and clock and starts its
+// softirq service process.
+func New(k *sim.Kernel, name string, cores int, freq float64, costs OSCosts) *CPU {
+	c := &CPU{
+		K:     k,
+		Name:  name,
+		Freq:  freq,
+		Cores: k.NewResource(cores),
+		Costs: costs,
+		Busy:  &stats.BusyMeter{},
+		softq: sim.NewQueue[func(p *sim.Proc)](k, 0),
+	}
+	k.Go(name+"/softirqd", c.softirqd)
+	return c
+}
+
+// NumCores returns the number of cores.
+func (c *CPU) NumCores() int { return c.Cores.Capacity() }
+
+// CyclesDur converts a cycle count to a duration at this CPU's clock.
+func (c *CPU) CyclesDur(n int64) sim.Duration { return sim.Cycles(n, c.Freq) }
+
+// Exec occupies one core for n cycles.
+func (c *CPU) Exec(p *sim.Proc, n int64) { c.ExecFor(p, c.CyclesDur(n)) }
+
+// ExecFor occupies one core for the given duration.
+func (c *CPU) ExecFor(p *sim.Proc, d sim.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.Cores.Acquire(p)
+	p.Sleep(d)
+	c.Cores.Release()
+	c.Busy.AddBusy(d)
+}
+
+// ExecWhile occupies one core for as long as fn runs. It is used for
+// operations whose duration is set by another subsystem (e.g. a driver
+// memcpy bounded by the memory channel): the core spins/stalls while the
+// transfer proceeds.
+func (c *CPU) ExecWhile(p *sim.Proc, fn func()) {
+	c.Cores.Acquire(p)
+	start := p.Now()
+	fn()
+	c.Cores.Release()
+	c.Busy.AddBusy(p.Now().Sub(start))
+}
+
+// RaiseIRQ models a hardware interrupt: a new kernel-context process that
+// pays entry cost, runs handler, and pays exit cost. It returns immediately
+// (the interrupt is asynchronous).
+func (c *CPU) RaiseIRQ(name string, handler func(p *sim.Proc)) {
+	c.K.Go(c.Name+"/irq/"+name, func(p *sim.Proc) {
+		c.Exec(p, c.Costs.IRQEntryCycles)
+		handler(p)
+		c.Exec(p, c.Costs.IRQExitCycles)
+	})
+}
+
+// ScheduleTasklet defers fn to softirq context, as the MCN polling agent
+// and NIC NAPI paths do. The tasklet runs on the softirqd process in FIFO
+// order, paying the dispatch cost.
+func (c *CPU) ScheduleTasklet(fn func(p *sim.Proc)) {
+	c.softq.TryPut(fn)
+}
+
+func (c *CPU) softirqd(p *sim.Proc) {
+	for {
+		fn, ok := c.softq.Get(p)
+		if !ok {
+			return
+		}
+		c.Exec(p, c.Costs.TaskletRunCycles)
+		fn(p)
+	}
+}
+
+// Utilization returns average busy cores / total cores over the run.
+func (c *CPU) Utilization() float64 {
+	span := c.K.Now()
+	if span == 0 {
+		return 0
+	}
+	return c.Busy.Busy.Seconds() / (sim.Duration(span).Seconds() * float64(c.NumCores()))
+}
+
+// An HRTimer re-arms itself every Interval and, per the paper's efficient
+// polling design (Sec. IV-A), its interrupt routine only pays a small fixed
+// cost and schedules a tasklet that does the real work.
+type HRTimer struct {
+	cpu      *CPU
+	interval sim.Duration
+	body     func(p *sim.Proc)
+	timer    *sim.Timer
+	running  bool
+	Fires    int64
+}
+
+// NewHRTimer creates a stopped high-resolution timer whose tasklet body is
+// fn.
+func (c *CPU) NewHRTimer(interval sim.Duration, fn func(p *sim.Proc)) *HRTimer {
+	h := &HRTimer{cpu: c, interval: interval, body: fn}
+	h.timer = c.K.NewTimer(h.fire)
+	return h
+}
+
+// Start arms the timer.
+func (h *HRTimer) Start() {
+	if h.running {
+		return
+	}
+	h.running = true
+	h.timer.Reset(h.interval)
+}
+
+// Stop disarms the timer.
+func (h *HRTimer) Stop() {
+	h.running = false
+	h.timer.Stop()
+}
+
+// Interval returns the timer period.
+func (h *HRTimer) Interval() sim.Duration { return h.interval }
+
+func (h *HRTimer) fire() {
+	if !h.running {
+		return
+	}
+	h.Fires++
+	// The timer interrupt itself: entry + short routine + exit, then the
+	// body runs in softirq context.
+	h.cpu.RaiseIRQ("hrtimer", func(p *sim.Proc) {
+		h.cpu.Exec(p, h.cpu.Costs.HRTimerCycles)
+		h.cpu.ScheduleTasklet(h.body)
+	})
+	if h.running {
+		h.timer.Reset(h.interval)
+	}
+}

@@ -1,0 +1,228 @@
+// Package dram models a DDR memory channel: banks with open-row state,
+// activation/precharge/CAS timing, a shared data bus that bounds bandwidth,
+// and byte counters used to report aggregate memory bandwidth utilization
+// (Fig. 9 of the paper).
+//
+// Two kinds of channels exist in an MCN system and both use this model:
+// the host's global channels (shared by all DIMMs on the channel, including
+// MCN DIMMs' SRAM windows) and each MCN DIMM's private local channel
+// between the MCN processor and the DRAM devices on the DIMM.
+package dram
+
+import (
+	"github.com/mcn-arch/mcn/internal/memmap"
+	"github.com/mcn-arch/mcn/internal/sim"
+	"github.com/mcn-arch/mcn/internal/stats"
+)
+
+// Config holds the timing parameters of a DDR channel.
+type Config struct {
+	Name string
+	// DataRateMTs is the transfer rate in mega-transfers per second
+	// (e.g. 3200 for DDR4-3200). Each transfer moves BeatBytes bytes.
+	DataRateMTs float64
+	// BeatBytes is the channel width in bytes (8 for a x64 DIMM).
+	BeatBytes int
+	// Core timings.
+	TCL  sim.Duration // CAS latency
+	TRCD sim.Duration // row activate to column
+	TRP  sim.Duration // precharge
+	// Banks is the number of banks (per rank; ranks are folded in).
+	Banks int
+	// RowBytes is the row-buffer size per bank.
+	RowBytes int
+}
+
+// DDR4_3200 returns the Table II configuration (DDR4-3200, 25.6GB/s peak).
+func DDR4_3200() Config {
+	return Config{
+		Name:        "DDR4-3200",
+		DataRateMTs: 3200,
+		BeatBytes:   8,
+		TCL:         13750 * sim.Picosecond,
+		TRCD:        13750 * sim.Picosecond,
+		TRP:         13750 * sim.Picosecond,
+		Banks:       16,
+		RowBytes:    8192,
+	}
+}
+
+// DDR3_1066 returns the ConTutto prototype DIMM configuration.
+func DDR3_1066() Config {
+	return Config{
+		Name:        "DDR3-1066",
+		DataRateMTs: 1066,
+		BeatBytes:   8,
+		TCL:         13125 * sim.Picosecond,
+		TRCD:        13125 * sim.Picosecond,
+		TRP:         13125 * sim.Picosecond,
+		Banks:       8,
+		RowBytes:    8192,
+	}
+}
+
+// LPDDR4_1866 returns the MCN processor's local channel configuration
+// (Snapdragon-835-class, Sec. III-A).
+func LPDDR4_1866() Config {
+	return Config{
+		Name:        "LPDDR4-1866",
+		DataRateMTs: 1866 * 2, // DDR: 1866MHz clock
+		BeatBytes:   8,
+		TCL:         14000 * sim.Picosecond,
+		TRCD:        14000 * sim.Picosecond,
+		TRP:         14000 * sim.Picosecond,
+		Banks:       8,
+		RowBytes:    4096,
+	}
+}
+
+// PeakBandwidth returns the channel's theoretical bandwidth in bytes/sec.
+func (c Config) PeakBandwidth() float64 { return c.DataRateMTs * 1e6 * float64(c.BeatBytes) }
+
+// BurstTime returns the bus occupancy of one 64-byte burst.
+func (c Config) BurstTime() sim.Duration {
+	return sim.AtRate(memmap.LineBytes, c.PeakBandwidth())
+}
+
+type bank struct {
+	openRow int64 // -1 = closed
+}
+
+// Channel is one simulated DDR channel.
+type Channel struct {
+	cfg   Config
+	k     *sim.Kernel
+	bus   *sim.Resource
+	banks []bank
+	// lastBurstEnd tracks when the data bus last finished a transfer.
+	// A row-hit burst arriving within tCL of it is part of a dense
+	// stream: the controller has already pipelined its CAS, so only bus
+	// occupancy is charged.
+	lastBurstEnd sim.Time
+
+	// Stats
+	Bytes    stats.Counter
+	Reads    int64
+	Writes   int64
+	RowHits  int64
+	RowMiss  int64
+	BusyTime *stats.BusyMeter
+}
+
+// NewChannel creates a channel on kernel k.
+func NewChannel(k *sim.Kernel, cfg Config) *Channel {
+	banks := make([]bank, cfg.Banks)
+	for i := range banks {
+		banks[i].openRow = -1
+	}
+	return &Channel{cfg: cfg, k: k, bus: k.NewResource(1), banks: banks, BusyTime: &stats.BusyMeter{}}
+}
+
+// Config returns the channel configuration.
+func (c *Channel) Config() Config { return c.cfg }
+
+// Access performs a blocking memory access of the given size starting at
+// addr. The request is served one row at a time, the way an FR-FCFS
+// scheduler batches row hits: each row chunk pays its activation once and
+// then streams bursts at bus rate. Bytes moved are accounted as bus traffic
+// (whole 64B bursts).
+func (c *Channel) Access(p *sim.Proc, addr uint64, write bool, bytes int) {
+	if bytes <= 0 {
+		return
+	}
+	end := addr + uint64(bytes)
+	for addr < end {
+		rowEnd := (addr/uint64(c.cfg.RowBytes) + 1) * uint64(c.cfg.RowBytes)
+		chunkEnd := rowEnd
+		if chunkEnd > end {
+			chunkEnd = end
+		}
+		c.rowAccess(p, addr, int(chunkEnd-addr), write)
+		addr = chunkEnd
+	}
+}
+
+// Read is Access with write=false.
+func (c *Channel) Read(p *sim.Proc, addr uint64, bytes int) { c.Access(p, addr, false, bytes) }
+
+// Write is Access with write=true.
+func (c *Channel) Write(p *sim.Proc, addr uint64, bytes int) { c.Access(p, addr, true, bytes) }
+
+// rowAccess serves a chunk that lies within a single DRAM row: one bank
+// preparation (row hit, primed hit, or miss) followed by back-to-back
+// bursts on the bus.
+func (c *Channel) rowAccess(p *sim.Proc, addr uint64, n int, write bool) {
+	firstLine := addr / memmap.LineBytes
+	lastLine := (addr + uint64(n) - 1) / memmap.LineBytes
+	bursts := int(lastLine-firstLine) + 1
+
+	rowIdx := addr / uint64(c.cfg.RowBytes)
+	b := &c.banks[int(rowIdx)%len(c.banks)]
+	row := int64(rowIdx / uint64(len(c.banks)))
+
+	c.bus.Acquire(p)
+	now := p.Now()
+	var prep sim.Duration
+	switch {
+	case b.openRow != row:
+		prep = c.cfg.TRP + c.cfg.TRCD + c.cfg.TCL
+		c.RowMiss++
+		b.openRow = row
+	case now > c.lastBurstEnd.Add(c.cfg.TCL):
+		// The pipeline drained; the CAS latency is exposed again.
+		prep = c.cfg.TCL
+		c.RowHits++
+	default:
+		// Dense stream: the controller already pipelined the CAS, only
+		// bus occupancy applies.
+		c.RowHits++
+	}
+	busy := prep + sim.Duration(bursts)*c.cfg.BurstTime()
+	p.Sleep(busy)
+	c.bus.Release()
+	c.lastBurstEnd = p.Now()
+	c.BusyTime.AddBusy(busy)
+	// Bandwidth is accounted as bus traffic (whole bursts, including the
+	// padding of partial lines).
+	c.Bytes.Add(p.Now(), int64(bursts)*memmap.LineBytes)
+	if write {
+		c.Writes += int64(bursts)
+	} else {
+		c.Reads += int64(bursts)
+	}
+}
+
+// BusTransfer charges pure bus occupancy for n bytes in 64B bursts plus a
+// one-time device latency, without bank timing. It models accesses to a
+// buffer-device SRAM window (the MCN interface) that sits on this channel:
+// such traffic contends for the channel's data bus with regular DRAM
+// traffic but involves no DRAM banks.
+func (c *Channel) BusTransfer(p *sim.Proc, bytes int, deviceLat sim.Duration, write bool) {
+	if bytes <= 0 {
+		return
+	}
+	bursts := (bytes + memmap.LineBytes - 1) / memmap.LineBytes
+	busy := sim.Duration(bursts) * c.cfg.BurstTime()
+	// The device latency does not occupy the data bus.
+	if deviceLat > 0 {
+		p.Sleep(deviceLat)
+	}
+	c.bus.Acquire(p)
+	p.Sleep(busy)
+	c.bus.Release()
+	c.lastBurstEnd = p.Now()
+	c.BusyTime.AddBusy(busy)
+	c.Bytes.Add(p.Now(), int64(bursts)*memmap.LineBytes)
+	if write {
+		c.Writes += int64(bursts)
+	} else {
+		c.Reads += int64(bursts)
+	}
+}
+
+// Utilization returns the fraction of elapsed time the data bus was busy.
+func (c *Channel) Utilization() float64 { return c.bus.Utilization() }
+
+// AchievedBandwidth returns bytes moved divided by the observation window
+// (bytes/sec); see stats.Counter.Rate.
+func (c *Channel) AchievedBandwidth() float64 { return c.Bytes.Rate() }

@@ -1,0 +1,87 @@
+// Package energy implements the McPAT-style power accounting behind
+// Fig. 10: busy/idle power integration for cores, static plus per-byte
+// dynamic power for DRAM channels, and flat power for NICs and switch
+// ports. Absolute watts are calibrated to public TDP figures (Sec. III-A
+// cites ~5W for the Snapdragon-class MCN processor and 20W for a Centaur
+// buffer); the experiments depend on the ratios, not the absolutes.
+package energy
+
+import (
+	"github.com/mcn-arch/mcn/internal/cluster"
+	"github.com/mcn-arch/mcn/internal/node"
+	"github.com/mcn-arch/mcn/internal/sim"
+)
+
+// Power is the component power table (watts, joules-per-byte).
+type Power struct {
+	HostCoreActiveW float64
+	HostCoreIdleW   float64
+	HostStaticW     float64 // uncore, VRs, fans share
+
+	McnCoreActiveW float64
+	McnCoreIdleW   float64
+	McnStaticW     float64 // MCN interface + buffer device share
+
+	DramChannelStaticW float64
+	DramJPerByte       float64
+
+	NICW        float64 // per 10GbE NIC
+	SwitchPortW float64 // per active ToR port
+}
+
+// Default returns the calibrated table.
+func Default() Power {
+	return Power{
+		HostCoreActiveW: 7.0,
+		HostCoreIdleW:   1.2,
+		HostStaticW:     22.0,
+
+		McnCoreActiveW: 1.1,
+		McnCoreIdleW:   0.15,
+		McnStaticW:     1.3,
+
+		DramChannelStaticW: 1.0,
+		DramJPerByte:       150e-12,
+
+		NICW:        7.0,
+		SwitchPortW: 3.5,
+	}
+}
+
+// NodeEnergy integrates one node's energy over span.
+func (p Power) NodeEnergy(n *node.Node, span sim.Duration, host bool) float64 {
+	activeW, idleW := p.McnCoreActiveW, p.McnCoreIdleW
+	static := p.McnStaticW
+	if host {
+		activeW, idleW = p.HostCoreActiveW, p.HostCoreIdleW
+		static = p.HostStaticW
+	}
+	e := n.CPU.Busy.Energy(span, n.CPU.NumCores(), activeW, idleW)
+	e += static * span.Seconds()
+	for _, ch := range n.Channels {
+		e += p.DramChannelStaticW * span.Seconds()
+		e += p.DramJPerByte * float64(ch.Bytes.Total)
+	}
+	return e
+}
+
+// McnServerEnergy integrates an MCN server: the host node plus every MCN
+// node (whose static share covers the MCN interface).
+func (p Power) McnServerEnergy(s *cluster.McnServer, span sim.Duration) float64 {
+	e := p.NodeEnergy(s.Host.Node, span, true)
+	for _, m := range s.Mcns {
+		e += p.NodeEnergy(m.Node, span, false)
+	}
+	return e
+}
+
+// EthClusterEnergy integrates a scale-out cluster: every node plus its NIC
+// and switch port.
+func (p Power) EthClusterEnergy(c *cluster.EthCluster, span sim.Duration) float64 {
+	var e float64
+	for _, n := range c.Nodes {
+		e += p.NodeEnergy(n.Node, span, true)
+		e += (p.NICW + p.SwitchPortW) * span.Seconds()
+	}
+	return e
+}

@@ -1,0 +1,86 @@
+package energy
+
+import (
+	"testing"
+
+	"github.com/mcn-arch/mcn/internal/cluster"
+	"github.com/mcn-arch/mcn/internal/core"
+	"github.com/mcn-arch/mcn/internal/node"
+	"github.com/mcn-arch/mcn/internal/sim"
+)
+
+func TestIdleEnergyIsStaticPlusIdleCores(t *testing.T) {
+	k := sim.NewKernel()
+	h := node.NewHost(k, node.HostConfig("h"))
+	k.Go("tick", func(p *sim.Proc) { p.Sleep(sim.Second) })
+	k.Run()
+	p := Default()
+	e := p.NodeEnergy(h.Node, sim.Second, true)
+	want := p.HostStaticW + 8*p.HostCoreIdleW + 2*p.DramChannelStaticW
+	if e < want*0.99 || e > want*1.01 {
+		t.Fatalf("idle energy %.2fJ, want %.2fJ", e, want)
+	}
+	k.Shutdown()
+}
+
+func TestBusyCoresCostMore(t *testing.T) {
+	run := func(busy bool) float64 {
+		k := sim.NewKernel()
+		h := node.NewHost(k, node.HostConfig("h"))
+		k.Go("w", func(p *sim.Proc) {
+			if busy {
+				h.CPU.ExecFor(p, sim.Second)
+			} else {
+				p.Sleep(sim.Second)
+			}
+		})
+		k.Run()
+		e := Default().NodeEnergy(h.Node, sim.Second, true)
+		k.Shutdown()
+		return e
+	}
+	idle, busy := run(false), run(true)
+	if busy <= idle {
+		t.Fatalf("busy %f <= idle %f", busy, idle)
+	}
+	// One core busy for 1s adds (active-idle) watts.
+	p := Default()
+	wantDelta := p.HostCoreActiveW - p.HostCoreIdleW
+	delta := busy - idle
+	if delta < wantDelta*0.95 || delta > wantDelta*1.05 {
+		t.Fatalf("delta %.2fJ, want %.2fJ", delta, wantDelta)
+	}
+}
+
+func TestDRAMTrafficCostsEnergy(t *testing.T) {
+	k := sim.NewKernel()
+	h := node.NewHost(k, node.HostConfig("h"))
+	k.Go("stream", func(p *sim.Proc) { h.MemStream(p, 1<<30, false) })
+	k.Run()
+	p := Default()
+	span := sim.Duration(k.Now())
+	e := p.NodeEnergy(h.Node, span, true)
+	dyn := p.DramJPerByte * float64(h.TotalDRAMBytes())
+	if dyn <= 0 || e <= dyn {
+		t.Fatalf("energy %.3f should include DRAM dynamic %.3f", e, dyn)
+	}
+	k.Shutdown()
+}
+
+func TestMcnServerVsClusterIdlePower(t *testing.T) {
+	// At idle, an MCN server with 2 DIMMs must draw much less than a
+	// 2-node cluster of full hosts with NICs and switch ports — the
+	// structural basis of Fig. 10.
+	k := sim.NewKernel()
+	s := cluster.NewMcnServer(k, 2, core.MCN0.Options())
+	c := cluster.NewEthCluster(k, 2, node.HostConfig(""))
+	k.Go("tick", func(p *sim.Proc) { p.Sleep(sim.Second) })
+	k.RunFor(sim.Second)
+	p := Default()
+	em := p.McnServerEnergy(s, sim.Second)
+	ec := p.EthClusterEnergy(c, sim.Second)
+	if em >= ec {
+		t.Fatalf("MCN idle %.1fJ should be below cluster idle %.1fJ", em, ec)
+	}
+	k.Shutdown()
+}

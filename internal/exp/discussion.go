@@ -1,0 +1,184 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/mcn-arch/mcn/internal/cluster"
+	"github.com/mcn-arch/mcn/internal/core"
+	"github.com/mcn-arch/mcn/internal/mcnfast"
+	"github.com/mcn-arch/mcn/internal/sim"
+)
+
+// DiscussionResult quantifies Sec. VII's two observations: (1) TCP's ACK
+// machinery consumes a measurable share of MCN's capacity (the paper cites
+// ~25%), and (2) a specialized shared-memory-style transport (mcnfast)
+// that drops TCP/IP recovers bandwidth and small-message latency.
+type DiscussionResult struct {
+	TCPGoodputBps  float64
+	FastGoodputBps float64
+	FastSpeedup    float64
+
+	DataSegments int64
+	AckSegments  int64
+	AckShare     float64 // fraction of segments that are pure ACKs
+
+	TCPSmallRTT  sim.Duration
+	FastSmallRTT sim.Duration
+	LatencyCut   float64
+}
+
+func (d *DiscussionResult) String() string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Sec. VII discussion: TCP overhead on MCN and the specialized transport")
+	fmt.Fprintf(&b, "  TCP (mcn3) stream goodput:      %8.2f Gbps\n", d.TCPGoodputBps*8/1e9)
+	fmt.Fprintf(&b, "  mcnfast stream goodput:         %8.2f Gbps  (%.2fx)\n", d.FastGoodputBps*8/1e9, d.FastSpeedup)
+	fmt.Fprintf(&b, "  pure-ACK share of TCP segments: %8.1f%%  (paper: ACK machinery costs ~25%%)\n", d.AckShare*100)
+	fmt.Fprintf(&b, "  64B ping-pong RTT, TCP:         %8v\n", d.TCPSmallRTT)
+	fmt.Fprintf(&b, "  64B ping-pong RTT, mcnfast:     %8v  (-%.0f%%)\n", d.FastSmallRTT, d.LatencyCut*100)
+	return b.String()
+}
+
+// Discussion runs the comparison on a one-DIMM MCN server.
+func Discussion() *DiscussionResult {
+	res := &DiscussionResult{}
+	const streamBytes = 16 << 20
+
+	// TCP stream at mcn3 (9KB MTU, interrupts, no TSO so the ACK pattern
+	// stays per-segment, matching the discussion's framing).
+	{
+		k := sim.NewKernel()
+		s := cluster.NewMcnServer(k, 1, core.MCN3.Options())
+		var start, end sim.Time
+		var acks, segs int64
+		k.Go("server", func(p *sim.Proc) {
+			l, _ := s.Mcns[0].Stack.Listen(5001)
+			c, _ := l.Accept(p)
+			start = p.Now()
+			c.RecvN(p, streamBytes)
+			end = p.Now()
+			acks = c.AcksSent
+			segs = c.SegsRcvd
+		})
+		k.Go("client", func(p *sim.Proc) {
+			c, err := s.Host.Stack.Connect(p, s.Mcns[0].IP, 5001)
+			if err != nil {
+				panic(err)
+			}
+			c.SendN(p, streamBytes)
+		})
+		k.RunUntil(sim.Time(30 * sim.Second))
+		if end == 0 {
+			panic("discussion: TCP stream did not finish")
+		}
+		res.TCPGoodputBps = float64(streamBytes) / end.Sub(start).Seconds()
+		res.DataSegments = segs
+		res.AckSegments = acks
+		res.AckShare = float64(acks) / float64(acks+segs)
+		k.Shutdown()
+	}
+
+	// mcnfast stream: same bytes, 8KB messages, credit flow control.
+	{
+		k := sim.NewKernel()
+		s := cluster.NewMcnServer(k, 1, core.MCN3.Options())
+		he, me := mcnfast.Pair(k, s.Host, s.Mcns[0])
+		var start, end sim.Time
+		k.Go("sink", func(p *sim.Proc) {
+			got := 0
+			start = p.Now()
+			for got < streamBytes {
+				got += len(me.Recv(p))
+			}
+			end = p.Now()
+		})
+		k.Go("source", func(p *sim.Proc) {
+			msg := make([]byte, 8192)
+			for sent := 0; sent < streamBytes; sent += len(msg) {
+				he.Send(p, msg)
+			}
+		})
+		k.RunUntil(sim.Time(30 * sim.Second))
+		if end == 0 {
+			panic("discussion: mcnfast stream did not finish")
+		}
+		res.FastGoodputBps = float64(streamBytes) / end.Sub(start).Seconds()
+		k.Shutdown()
+	}
+	res.FastSpeedup = res.FastGoodputBps / res.TCPGoodputBps
+
+	// Small-message ping-pong latency.
+	res.TCPSmallRTT = tcpPingPong()
+	res.FastSmallRTT = fastPingPong()
+	res.LatencyCut = 1 - float64(res.FastSmallRTT)/float64(res.TCPSmallRTT)
+	return res
+}
+
+func tcpPingPong() sim.Duration {
+	k := sim.NewKernel()
+	s := cluster.NewMcnServer(k, 1, core.MCN1.Options())
+	var avg sim.Duration
+	k.Go("server", func(p *sim.Proc) {
+		l, _ := s.Mcns[0].Stack.Listen(5001)
+		c, _ := l.Accept(p)
+		buf := make([]byte, 64)
+		for {
+			n, ok := c.Recv(p, buf)
+			if !ok {
+				return
+			}
+			c.Send(p, buf[:n])
+		}
+	})
+	k.Go("client", func(p *sim.Proc) {
+		c, err := s.Host.Stack.Connect(p, s.Mcns[0].IP, 5001)
+		if err != nil {
+			panic(err)
+		}
+		msg := make([]byte, 64)
+		buf := make([]byte, 64)
+		start := p.Now()
+		const rounds = 20
+		for i := 0; i < rounds; i++ {
+			c.Send(p, msg)
+			got := 0
+			for got < 64 {
+				n, _ := c.Recv(p, buf[got:])
+				got += n
+			}
+		}
+		avg = p.Now().Sub(start) / rounds
+	})
+	k.RunUntil(sim.Time(5 * sim.Second))
+	k.Shutdown()
+	return avg
+}
+
+func fastPingPong() sim.Duration {
+	k := sim.NewKernel()
+	s := cluster.NewMcnServer(k, 1, core.MCN1.Options())
+	he, me := mcnfast.Pair(k, s.Host, s.Mcns[0])
+	k.Go("echo", func(p *sim.Proc) {
+		for {
+			msg := me.Recv(p)
+			if msg == nil {
+				return
+			}
+			me.Send(p, msg)
+		}
+	})
+	var avg sim.Duration
+	k.Go("host", func(p *sim.Proc) {
+		msg := make([]byte, 64)
+		start := p.Now()
+		const rounds = 20
+		for i := 0; i < rounds; i++ {
+			he.Send(p, msg)
+			he.Recv(p)
+		}
+		avg = p.Now().Sub(start) / rounds
+	})
+	k.RunUntil(sim.Time(5 * sim.Second))
+	k.Shutdown()
+	return avg
+}

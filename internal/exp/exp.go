@@ -1,0 +1,211 @@
+// Package exp regenerates every table and figure of the paper's evaluation
+// (Sec. VI): Fig. 8(a-c) network bandwidth and latency, Table III latency
+// breakdowns, Fig. 9 aggregate memory bandwidth, Fig. 10 energy, Fig. 11
+// NPB execution time, and the abstract's headline numbers. Each generator
+// builds fresh topologies, runs the workloads, and returns typed rows plus
+// a formatted text rendition shaped like the paper's presentation.
+//
+// Absolute values depend on this simulator's cost tables; the quantities
+// meant to match the paper are orderings, ratios and crossovers.
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/mcn-arch/mcn/internal/cluster"
+	"github.com/mcn-arch/mcn/internal/core"
+	"github.com/mcn-arch/mcn/internal/node"
+	"github.com/mcn-arch/mcn/internal/sim"
+	"github.com/mcn-arch/mcn/internal/workloads"
+)
+
+// Scale trades fidelity for run time in the workload-driven experiments
+// (Figs. 9-11); 1.0 is the default working-set multiplier.
+type Scale float64
+
+// QuickScale is small enough for test suites; bench runs may raise it.
+const QuickScale Scale = 0.05
+
+// newEthPair builds two conventional nodes on a point-to-point 10GbE link
+// (the Fig. 8 baseline measures node-to-node, no switch hop... the paper
+// pipes iperf through a standard setup; we include the ToR switch to match
+// Table II's network row).
+func newEthCluster(k *sim.Kernel, n int) *cluster.EthCluster {
+	return cluster.NewEthCluster(k, n, node.HostConfig(""))
+}
+
+// runIperf builds the given topology, runs iperf for the measurement
+// window and returns aggregate goodput in bytes/sec.
+func runIperf(build func(k *sim.Kernel) (cluster.Endpoint, []cluster.Endpoint)) float64 {
+	k := sim.NewKernel()
+	server, clients := build(k)
+	// A longer window lets TCP climb out of slow start; the paper notes
+	// congestion control needs time to reach full utilization (Sec. VII).
+	res := workloads.Iperf(k, server, clients, 5201, 6*sim.Millisecond, 18*sim.Millisecond)
+	k.RunUntil(sim.Time(60 * sim.Millisecond))
+	bw := res.GoodputBps
+	k.Shutdown()
+	return bw
+}
+
+// Iperf10GbE measures the baseline: one server, four clients behind the
+// ToR switch (clients share the server's single 10G port, as in the
+// paper's one-NIC-per-node setup).
+func Iperf10GbE() float64 {
+	return runIperf(func(k *sim.Kernel) (cluster.Endpoint, []cluster.Endpoint) {
+		c := newEthCluster(k, 5)
+		eps := c.Endpoints()
+		return eps[0], eps[1:]
+	})
+}
+
+// IperfHostMcn measures the host-mcn configuration at one optimization
+// level: server on the host, clients on four MCN DIMMs.
+func IperfHostMcn(l core.OptLevel) float64 {
+	return runIperf(func(k *sim.Kernel) (cluster.Endpoint, []cluster.Endpoint) {
+		s := cluster.NewMcnServer(k, 8, l.Options())
+		server := cluster.Endpoint{Node: s.Host.Node, IP: s.Host.HostMcnIP()}
+		return server, s.McnEndpoints()[:4]
+	})
+}
+
+// IperfMcnMcn measures the mcn-mcn configuration: server on an MCN DIMM,
+// clients on the host and three other DIMMs.
+func IperfMcnMcn(l core.OptLevel) float64 {
+	return runIperf(func(k *sim.Kernel) (cluster.Endpoint, []cluster.Endpoint) {
+		s := cluster.NewMcnServer(k, 8, l.Options())
+		server := cluster.Endpoint{Node: s.Mcns[0].Node, IP: s.Mcns[0].IP}
+		clients := []cluster.Endpoint{{Node: s.Host.Node, IP: s.Host.HostMcnIP()}}
+		for _, m := range s.Mcns[1:4] {
+			clients = append(clients, cluster.Endpoint{Node: m.Node, IP: m.IP})
+		}
+		return server, clients
+	})
+}
+
+// Fig8aRow is one bar group of Fig. 8(a).
+type Fig8aRow struct {
+	Level   core.OptLevel
+	HostMcn float64 // normalized to the 10GbE aggregate
+	McnMcn  float64
+}
+
+// Fig8aResult is the full figure.
+type Fig8aResult struct {
+	BaselineBps float64
+	Rows        []Fig8aRow
+}
+
+// Fig8a regenerates Fig. 8(a): iperf bandwidth for mcn0..mcn5, host-mcn
+// and mcn-mcn, normalized to 10GbE.
+func Fig8a() *Fig8aResult {
+	base := Iperf10GbE()
+	res := &Fig8aResult{BaselineBps: base}
+	for _, l := range core.Levels() {
+		res.Rows = append(res.Rows, Fig8aRow{
+			Level:   l,
+			HostMcn: IperfHostMcn(l) / base,
+			McnMcn:  IperfMcnMcn(l) / base,
+		})
+	}
+	return res
+}
+
+func (r *Fig8aResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 8(a): iperf bandwidth normalized to 10GbE (baseline %.2f Gbps)\n", r.BaselineBps*8/1e9)
+	fmt.Fprintf(&b, "%-6s %9s %9s\n", "level", "host-mcn", "mcn-mcn")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-6s %9.2f %9.2f\n", row.Level, row.HostMcn, row.McnMcn)
+	}
+	return b.String()
+}
+
+// PingSizes are the payload sizes of Fig. 8(b)/(c).
+var PingSizes = []int{16, 256, 1024, 4096, 8192}
+
+// Fig8Latency holds one of the latency figures: RTTs by payload size and
+// level, normalized to the 10GbE 16-byte RTT.
+type Fig8Latency struct {
+	Name    string
+	Base16B sim.Duration
+	BaseRTT map[int]sim.Duration
+	Rows    map[core.OptLevel]map[int]sim.Duration
+}
+
+func (f *Fig8Latency) norm(l core.OptLevel, size int) float64 {
+	return float64(f.Rows[l][size]) / float64(f.Base16B)
+}
+
+func (f *Fig8Latency) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: ping RTT normalized to 10GbE 16B RTT (%.2fus)\n", f.Name, f.Base16B.Microseconds())
+	fmt.Fprintf(&b, "%-6s", "level")
+	for _, s := range PingSizes {
+		fmt.Fprintf(&b, " %8dB", s)
+	}
+	fmt.Fprintln(&b)
+	fmt.Fprintf(&b, "%-6s", "10GbE")
+	for _, s := range PingSizes {
+		fmt.Fprintf(&b, " %9.2f", float64(f.BaseRTT[s])/float64(f.Base16B))
+	}
+	fmt.Fprintln(&b)
+	for _, l := range core.Levels() {
+		fmt.Fprintf(&b, "%-6s", l)
+		for _, s := range PingSizes {
+			fmt.Fprintf(&b, " %9.2f", f.norm(l, s))
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// baselinePing measures node-to-node 10GbE RTTs per payload size.
+func baselinePing() map[int]sim.Duration {
+	k := sim.NewKernel()
+	c := newEthCluster(k, 2)
+	eps := c.Endpoints()
+	res := workloads.PingSweep(k, eps[0], eps[1].IP, PingSizes, 5)
+	k.RunUntil(sim.Time(sim.Second))
+	k.Shutdown()
+	return res
+}
+
+// Fig8b regenerates Fig. 8(b): host to MCN node RTT across payload sizes
+// and optimization levels.
+func Fig8b() *Fig8Latency {
+	return pingFigure("Fig 8(b) host-mcn", func(k *sim.Kernel, l core.OptLevel) (cluster.Endpoint, cluster.Endpoint) {
+		s := cluster.NewMcnServer(k, 2, l.Options())
+		return cluster.Endpoint{Node: s.Host.Node, IP: s.Host.HostMcnIP()},
+			cluster.Endpoint{Node: s.Mcns[0].Node, IP: s.Mcns[0].IP}
+	})
+}
+
+// Fig8c regenerates Fig. 8(c): MCN node to MCN node RTT (through the host
+// forwarding engine).
+func Fig8c() *Fig8Latency {
+	return pingFigure("Fig 8(c) mcn-mcn", func(k *sim.Kernel, l core.OptLevel) (cluster.Endpoint, cluster.Endpoint) {
+		s := cluster.NewMcnServer(k, 2, l.Options())
+		return cluster.Endpoint{Node: s.Mcns[0].Node, IP: s.Mcns[0].IP},
+			cluster.Endpoint{Node: s.Mcns[1].Node, IP: s.Mcns[1].IP}
+	})
+}
+
+func pingFigure(name string, build func(k *sim.Kernel, l core.OptLevel) (cluster.Endpoint, cluster.Endpoint)) *Fig8Latency {
+	f := &Fig8Latency{
+		Name:    name,
+		BaseRTT: baselinePing(),
+		Rows:    make(map[core.OptLevel]map[int]sim.Duration),
+	}
+	f.Base16B = f.BaseRTT[16]
+	for _, l := range core.Levels() {
+		k := sim.NewKernel()
+		from, to := build(k, l)
+		res := workloads.PingSweep(k, from, to.IP, PingSizes, 5)
+		k.RunUntil(sim.Time(sim.Second))
+		f.Rows[l] = res
+		k.Shutdown()
+	}
+	return f
+}

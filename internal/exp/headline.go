@@ -1,0 +1,104 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/mcn-arch/mcn/internal/cluster"
+	"github.com/mcn-arch/mcn/internal/core"
+	"github.com/mcn-arch/mcn/internal/energy"
+	"github.com/mcn-arch/mcn/internal/mpi"
+	"github.com/mcn-arch/mcn/internal/node"
+	"github.com/mcn-arch/mcn/internal/sim"
+	"github.com/mcn-arch/mcn/internal/workloads"
+)
+
+// HeadlineResult reproduces the abstract's summary numbers:
+//   - iperf bandwidth improvement of the best MCN over 10GbE (paper 456.5%)
+//   - ping latency reduction (paper 78.1%)
+//   - throughput and energy of a server with 8 MCN DIMMs against a 9-node
+//     10GbE cluster (paper 4.56x higher throughput, 47.5% less energy)
+//   - peak aggregate DRAM bandwidth scaling (paper up to 8.17x)
+type HeadlineResult struct {
+	BandwidthGain float64 // (mcn5 / 10GbE) - 1
+	LatencyCut    float64 // 1 - (mcn5 16B RTT / 10GbE 16B RTT)
+	Throughput    float64 // cluster time / MCN time on the suite subset
+	EnergyCut     float64 // 1 - E_mcn/E_cluster
+	PeakAggBW     float64 // Fig. 9 max
+}
+
+func (h *HeadlineResult) String() string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Headline (abstract) numbers, measured / (paper):")
+	fmt.Fprintf(&b, "  iperf bandwidth gain over 10GbE:     %+.1f%%  (+456.5%%)\n", h.BandwidthGain*100)
+	fmt.Fprintf(&b, "  ping latency reduction vs 10GbE:     %.1f%%   (78.1%%)\n", h.LatencyCut*100)
+	fmt.Fprintf(&b, "  throughput vs 9-node cluster:        %.2fx   (4.56x)\n", h.Throughput)
+	fmt.Fprintf(&b, "  energy saving vs 9-node cluster:     %.1f%%   (47.5%%)\n", h.EnergyCut*100)
+	fmt.Fprintf(&b, "  peak aggregate DRAM bandwidth:       %.2fx   (8.17x)\n", h.PeakAggBW)
+	return b.String()
+}
+
+// Headline computes the summary numbers. names selects the workload subset
+// for the throughput/energy comparison (nil = a representative memory-bound
+// trio to bound run time).
+func Headline(names []string, scale Scale) *HeadlineResult {
+	if names == nil {
+		names = []string{"mg", "ft", "grep"}
+	}
+	res := &HeadlineResult{}
+
+	// Network numbers at the highest optimization level.
+	base := Iperf10GbE()
+	res.BandwidthGain = IperfHostMcn(core.MCN5)/base - 1
+
+	basePing := baselinePing()[16]
+	k := sim.NewKernel()
+	s := cluster.NewMcnServer(k, 2, core.MCN5.Options())
+	from := cluster.Endpoint{Node: s.Host.Node, IP: s.Host.HostMcnIP()}
+	sweep := workloads.PingSweep(k, from, s.Mcns[0].IP, []int{16}, 5)
+	k.RunUntil(sim.Time(sim.Second))
+	k.Shutdown()
+	res.LatencyCut = 1 - float64(sweep[16])/float64(basePing)
+
+	// Throughput + energy: 8-DIMM MCN server vs 9-node cluster, average
+	// over the subset.
+	pw := energy.Default()
+	var tRatio, eRatio float64
+	for _, name := range names {
+		fn := workloads.Suite[name]
+
+		k1 := sim.NewKernel()
+		ms := cluster.NewMcnServer(k1, 8, core.MCN5.Options())
+		hostEp := cluster.Endpoint{Node: ms.Host.Node, IP: ms.Host.HostMcnIP()}
+		eps := []cluster.Endpoint{hostEp}
+		eps = append(eps, ms.McnEndpoints()...)
+		w1 := mpi.Launch(k1, eps, 7000, func(r *mpi.Rank) { fn(r, float64(scale)) })
+		k1.RunUntil(sim.Time(600 * sim.Second))
+		if !w1.Done() {
+			panic(fmt.Sprintf("headline: %s on MCN server did not finish", name))
+		}
+		tm := w1.Elapsed()
+		em := pw.McnServerEnergy(ms, tm)
+		k1.Shutdown()
+
+		k2 := sim.NewKernel()
+		c := cluster.NewEthCluster(k2, 9, node.HostConfig(""))
+		w2 := mpi.Launch(k2, c.Endpoints(), 7000, func(r *mpi.Rank) { fn(r, float64(scale)) })
+		k2.RunUntil(sim.Time(600 * sim.Second))
+		if !w2.Done() {
+			panic(fmt.Sprintf("headline: %s on the cluster did not finish", name))
+		}
+		tc := w2.Elapsed()
+		ec := pw.EthClusterEnergy(c, tc)
+		k2.Shutdown()
+
+		tRatio += float64(tc) / float64(tm) / float64(len(names))
+		eRatio += em / ec / float64(len(names))
+	}
+	res.Throughput = tRatio
+	res.EnergyCut = 1 - eRatio
+
+	fig9 := Fig9([]string{"mg", "grep"}, scale)
+	res.PeakAggBW = fig9.Max
+	return res
+}

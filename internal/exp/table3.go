@@ -1,0 +1,160 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/mcn-arch/mcn/internal/cluster"
+	"github.com/mcn-arch/mcn/internal/core"
+	"github.com/mcn-arch/mcn/internal/ethdev"
+	"github.com/mcn-arch/mcn/internal/netstack"
+	"github.com/mcn-arch/mcn/internal/node"
+	"github.com/mcn-arch/mcn/internal/sim"
+)
+
+// Table3Row is one row of Table III: the end-to-end latency breakdown for
+// transmitting and receiving a single TCP packet. Stage values are
+// normalized to the 10GbE row's total for the same packet size, as in the
+// paper.
+type Table3Row struct {
+	SizeBytes int
+	Type      string // "10GbE" or "MCN-0"
+	DriverTX  float64
+	DMATX     float64
+	PHY       float64
+	DMARX     float64
+	DriverRX  float64
+	Total     float64
+	RawTotal  sim.Duration
+}
+
+// Table3Result is the full table.
+type Table3Result struct {
+	Rows []Table3Row
+}
+
+func (t *Table3Result) String() string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Table III: end-to-end single-packet latency breakdown (normalized to 10GbE total per size)")
+	fmt.Fprintf(&b, "%-7s %-6s %10s %8s %8s %8s %10s %8s %12s\n",
+		"size", "type", "Driver-TX", "DMA-TX", "PHY", "DMA-RX", "Driver-RX", "Total", "(raw)")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-7d %-6s %10.3f %8.3f %8.3f %8.3f %10.3f %8.3f %12v\n",
+			r.SizeBytes, r.Type, r.DriverTX, r.DMATX, r.PHY, r.DMARX, r.DriverRX, r.Total, r.RawTotal)
+	}
+	return b.String()
+}
+
+// Table3 regenerates Table III for 1.5KB and 9KB TCP packets.
+func Table3() *Table3Result {
+	res := &Table3Result{}
+	for _, size := range []int{1460, 8960} {
+		eth := traceEth(size)
+		mcn := traceMcn(size)
+		ethTotal := eth.DriverRxEnd.Sub(eth.DriverTxStart)
+		n := func(d sim.Duration) float64 { return float64(d) / float64(ethTotal) }
+		res.Rows = append(res.Rows, Table3Row{
+			SizeBytes: size,
+			Type:      "10GbE",
+			DriverTX:  n(eth.DMATxStart.Sub(eth.DriverTxStart)),
+			DMATX:     n(eth.PhyStart.Sub(eth.DMATxStart)),
+			PHY:       n(eth.PhyEnd.Sub(eth.PhyStart)),
+			DMARX:     n(eth.DMARxEnd.Sub(eth.PhyEnd)),
+			DriverRX:  n(eth.DriverRxEnd.Sub(eth.DMARxEnd)),
+			Total:     1,
+			RawTotal:  ethTotal,
+		})
+		mcnTotal := mcn.DriverRxEnd.Sub(mcn.DriverTxStart)
+		res.Rows = append(res.Rows, Table3Row{
+			SizeBytes: size,
+			Type:      "MCN-0",
+			DriverTX:  n(mcn.DriverTxEnd.Sub(mcn.DriverTxStart)),
+			// MCN has no DMA or PHY stages: the memory channel is the
+			// PHY and its time is inside the driver copies.
+			DriverRX: n(mcn.DriverRxEnd.Sub(mcn.DriverTxEnd)),
+			Total:    n(mcnTotal),
+			RawTotal: mcnTotal,
+		})
+	}
+	return res
+}
+
+// traceEth sends one TCP packet of the given payload across a 10GbE link
+// and returns the receiver's stage stamps. Jumbo-frame MTU is used for
+// payloads above 1500 so the packet stays a single frame, as in the paper.
+func traceEth(payload int) *ethdev.Stamps {
+	k := sim.NewKernel()
+	cfgA := node.HostConfig("a")
+	cfgB := node.HostConfig("b")
+	a := node.NewHost(k, cfgA)
+	b := node.NewHost(k, cfgB)
+	link := ethdev.NewLink(k, sim.Microsecond)
+	nicCfg := func(name string, id uint32) ethdev.Config {
+		c := ethdev.DefaultConfig(name, netstack.NewMAC(id))
+		if payload > 1460 {
+			c.MTU = 9000
+		}
+		c.TSO = false // a single packet; keep the path simple
+		return c
+	}
+	nicA := ethdev.New(k, a.CPU, a.Channels[0], a.Stack, nicCfg("a/eth0", 1), link)
+	nicB := ethdev.New(k, b.CPU, b.Channels[0], b.Stack, nicCfg("b/eth0", 2), link)
+	ia := a.Stack.AddIface(nicA, netstack.IPv4(10, 0, 0, 1), netstack.Mask24)
+	ib := b.Stack.AddIface(nicB, netstack.IPv4(10, 0, 0, 2), netstack.Mask24)
+	ia.Neighbors[netstack.IPv4(10, 0, 0, 2)] = nicB.MAC()
+	ib.Neighbors[netstack.IPv4(10, 0, 0, 1)] = nicA.MAC()
+	nicA.TraceMinBytes = 1000
+
+	k.Go("server", func(p *sim.Proc) {
+		l, _ := b.Stack.Listen(5001)
+		c, _ := l.Accept(p)
+		c.RecvN(p, payload)
+	})
+	k.Go("client", func(p *sim.Proc) {
+		c, err := a.Stack.Connect(p, netstack.IPv4(10, 0, 0, 2), 5001)
+		if err != nil {
+			panic(err)
+		}
+		c.SendN(p, payload)
+	})
+	k.RunUntil(sim.Time(sim.Second))
+	st := nicB.LastTrace
+	k.Shutdown()
+	if st == nil {
+		panic("table3: no ethernet trace captured")
+	}
+	return st
+}
+
+// traceMcn sends one TCP packet from an MCN node to the host under the
+// mcn0 configuration (with the MTU raised for the 9KB row, as Table III
+// isolates packet size, not the other optimizations).
+func traceMcn(payload int) *core.McnStamps {
+	k := sim.NewKernel()
+	opts := core.MCN0.Options()
+	if payload > 1460 {
+		opts.MTU = 9000
+	}
+	s := cluster.NewMcnServer(k, 1, opts)
+	s.Host.Driver.TraceMinBytes = 1000
+	s.Mcns[0].Drv.TraceMinBytes = 1000
+	k.Go("server", func(p *sim.Proc) {
+		l, _ := s.Host.Stack.Listen(5001)
+		c, _ := l.Accept(p)
+		c.RecvN(p, payload)
+	})
+	k.Go("client", func(p *sim.Proc) {
+		c, err := s.Mcns[0].Stack.Connect(p, s.Host.HostMcnIP(), 5001)
+		if err != nil {
+			panic(err)
+		}
+		c.SendN(p, payload)
+	})
+	k.RunUntil(sim.Time(sim.Second))
+	st := s.Host.Driver.LastTrace
+	k.Shutdown()
+	if st == nil {
+		panic("table3: no MCN trace captured")
+	}
+	return st
+}

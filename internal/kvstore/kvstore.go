@@ -1,0 +1,213 @@
+// Package kvstore is a memcached-class key/value service used to exercise
+// MCN as a disaggregated-memory tier: the store runs on an MCN node, keeps
+// its data in the DIMM's DRAM, and serves GET/SET/DELETE over ordinary TCP
+// — which, on an MCN server, happens to traverse the memory channel. The
+// paper motivates exactly this near-memory use (key/value lookup
+// acceleration, refs [8][9]) and its Discussion proposes replacing a rack
+// of cache nodes with one MCN server.
+package kvstore
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/mcn-arch/mcn/internal/cluster"
+	"github.com/mcn-arch/mcn/internal/netstack"
+	"github.com/mcn-arch/mcn/internal/sim"
+	"github.com/mcn-arch/mcn/internal/stats"
+)
+
+// Wire protocol: request = [1B op][2B keyLen][4B valLen][key][val]
+//
+//	response = [1B status][4B valLen][val]
+const (
+	OpGet = iota + 1
+	OpSet
+	OpDelete
+)
+
+const (
+	StatusOK = iota + 1
+	StatusMiss
+)
+
+const reqHeaderBytes = 7
+const respHeaderBytes = 5
+
+// Server is one key/value node.
+type Server struct {
+	ep    cluster.Endpoint
+	port  uint16
+	data  map[string][]byte
+	bytes int64
+
+	// Stats.
+	Gets, Sets, Dels, Misses int64
+}
+
+// NewServer creates a store and starts accepting connections.
+func NewServer(k *sim.Kernel, ep cluster.Endpoint, port uint16) *Server {
+	s := &Server{ep: ep, port: port, data: make(map[string][]byte)}
+	k.Go(fmt.Sprintf("kv/%s", ep.Node.Name), func(p *sim.Proc) {
+		l, err := ep.Node.Stack.Listen(port)
+		if err != nil {
+			panic(err)
+		}
+		for {
+			c, err := l.Accept(p)
+			if err != nil {
+				return
+			}
+			k.Go("kv/conn", func(cp *sim.Proc) { s.serve(cp, c) })
+		}
+	})
+	return s
+}
+
+// Bytes returns the resident data size.
+func (s *Server) Bytes() int64 { return s.bytes }
+
+// Len returns the number of keys.
+func (s *Server) Len() int { return len(s.data) }
+
+func (s *Server) serve(p *sim.Proc, c *netstack.TCPConn) {
+	hdr := make([]byte, reqHeaderBytes)
+	for {
+		if !readFull(p, c, hdr) {
+			return
+		}
+		op := hdr[0]
+		keyLen := int(binary.LittleEndian.Uint16(hdr[1:3]))
+		valLen := int(binary.LittleEndian.Uint32(hdr[3:7]))
+		kb := make([]byte, keyLen)
+		if !readFull(p, c, kb) {
+			return
+		}
+		key := string(kb)
+		var val []byte
+		if valLen > 0 {
+			val = make([]byte, valLen)
+			if !readFull(p, c, val) {
+				return
+			}
+		}
+		status := byte(StatusOK)
+		var out []byte
+		switch op {
+		case OpGet:
+			s.Gets++
+			v, ok := s.data[key]
+			if !ok {
+				s.Misses++
+				status = StatusMiss
+			} else {
+				// The near-memory read: stream the value from the
+				// node's DRAM.
+				s.ep.Node.MemStream(p, int64(len(v)), false)
+				out = v
+			}
+		case OpSet:
+			s.Sets++
+			if old, ok := s.data[key]; ok {
+				s.bytes -= int64(len(old))
+			}
+			s.data[key] = val
+			s.bytes += int64(len(val))
+			s.ep.Node.MemStream(p, int64(len(val)), true)
+		case OpDelete:
+			s.Dels++
+			if old, ok := s.data[key]; ok {
+				s.bytes -= int64(len(old))
+				delete(s.data, key)
+			} else {
+				s.Misses++
+				status = StatusMiss
+			}
+		default:
+			return // protocol error: drop the connection
+		}
+		resp := make([]byte, respHeaderBytes+len(out))
+		resp[0] = status
+		binary.LittleEndian.PutUint32(resp[1:5], uint32(len(out)))
+		copy(resp[respHeaderBytes:], out)
+		if c.Send(p, resp) != nil {
+			return
+		}
+	}
+}
+
+// Client is one connection to a Server.
+type Client struct {
+	conn *netstack.TCPConn
+	// Lat records per-operation round-trip latencies (ns).
+	Lat stats.Histogram
+}
+
+// Dial connects a client from ep to the server at addr:port.
+func Dial(p *sim.Proc, ep cluster.Endpoint, addr netstack.IP, port uint16) (*Client, error) {
+	c, err := ep.Node.Stack.Connect(p, addr, port)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: c}, nil
+}
+
+// Set stores val under key.
+func (c *Client) Set(p *sim.Proc, key string, val []byte) error {
+	_, _, err := c.do(p, OpSet, key, val)
+	return err
+}
+
+// Get fetches key; ok=false on miss.
+func (c *Client) Get(p *sim.Proc, key string) ([]byte, bool, error) {
+	v, st, err := c.do(p, OpGet, key, nil)
+	return v, st == StatusOK, err
+}
+
+// Delete removes key; ok=false if it was absent.
+func (c *Client) Delete(p *sim.Proc, key string) (bool, error) {
+	_, st, err := c.do(p, OpDelete, key, nil)
+	return st == StatusOK, err
+}
+
+// Close shuts the connection down.
+func (c *Client) Close(p *sim.Proc) { c.conn.Close(p) }
+
+func (c *Client) do(p *sim.Proc, op byte, key string, val []byte) ([]byte, byte, error) {
+	start := p.Now()
+	req := make([]byte, reqHeaderBytes+len(key)+len(val))
+	req[0] = op
+	binary.LittleEndian.PutUint16(req[1:3], uint16(len(key)))
+	binary.LittleEndian.PutUint32(req[3:7], uint32(len(val)))
+	copy(req[reqHeaderBytes:], key)
+	copy(req[reqHeaderBytes+len(key):], val)
+	if err := c.conn.Send(p, req); err != nil {
+		return nil, 0, err
+	}
+	hdr := make([]byte, respHeaderBytes)
+	if !readFull(p, c.conn, hdr) {
+		return nil, 0, fmt.Errorf("kvstore: connection closed mid-response")
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[1:5]))
+	var out []byte
+	if n > 0 {
+		out = make([]byte, n)
+		if !readFull(p, c.conn, out) {
+			return nil, 0, fmt.Errorf("kvstore: truncated value")
+		}
+	}
+	c.Lat.ObserveDuration(p.Now().Sub(start))
+	return out, hdr[0], nil
+}
+
+func readFull(p *sim.Proc, c *netstack.TCPConn, buf []byte) bool {
+	got := 0
+	for got < len(buf) {
+		n, ok := c.Recv(p, buf[got:])
+		got += n
+		if !ok && got < len(buf) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,153 @@
+// Package mapreduce is a small distributed data-processing framework in
+// the Hadoop/Spark mold, running over the simulated network with real data
+// movement. The paper's thesis is that such frameworks run unchanged
+// across the host and the MCN DIMMs; this package demonstrates it: the
+// driver partitions input, workers map near their memory, the shuffle
+// crosses the memory-channel network (or 10GbE — the framework cannot
+// tell), and reducers aggregate.
+//
+// The execution model is deliberately Hadoop-shaped: a driver rank, map
+// tasks over input splits, a hash-partitioned shuffle, and reduce tasks.
+package mapreduce
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+
+	"github.com/mcn-arch/mcn/internal/mpi"
+)
+
+// Job describes one MapReduce computation. Map and Reduce run on worker
+// ranks; the input lives on the driver and is shipped to the mappers.
+type Job struct {
+	Name string
+	// Input splits; each becomes one map task.
+	Input []string
+	// Map emits key/value pairs for one split.
+	Map func(split string, emit func(k, v string))
+	// Reduce folds all values of one key into a result.
+	Reduce func(k string, vs []string) string
+}
+
+// KV is one emitted pair.
+type KV struct{ K, V string }
+
+// Run executes the job on an MPI world: rank 0 is the driver, all other
+// ranks are workers (mappers and reducers). The merged result is returned
+// on rank 0; workers return nil. Run must be called by every rank.
+func Run(r *mpi.Rank, job Job) map[string]string {
+	workers := r.W.Size() - 1
+	if workers < 1 {
+		panic("mapreduce: need at least one worker rank")
+	}
+	if r.ID == 0 {
+		return runDriver(r, job, workers)
+	}
+	runWorker(r, job, workers)
+	return nil
+}
+
+func runDriver(r *mpi.Rank, job Job, workers int) map[string]string {
+	// Assign splits round-robin to the workers.
+	assign := make([][]string, workers)
+	for i, split := range job.Input {
+		w := i % workers
+		assign[w] = append(assign[w], split)
+	}
+	for w := 0; w < workers; w++ {
+		r.SendData(w+1, encodeStrings(assign[w]))
+	}
+	// Collect reduce output.
+	out := make(map[string]string)
+	for w := 0; w < workers; w++ {
+		pairs := decodeKVs(r.RecvData(w + 1))
+		for _, kv := range pairs {
+			out[kv.K] = kv.V
+		}
+	}
+	return out
+}
+
+func runWorker(r *mpi.Rank, job Job, workers int) {
+	me := r.ID - 1 // worker index
+	splits := decodeStrings(r.RecvData(0))
+
+	// Map phase: near-memory computation over the local splits.
+	buckets := make([][]KV, workers)
+	for _, split := range splits {
+		job.Map(split, func(k, v string) {
+			b := partition(k, workers)
+			buckets[b] = append(buckets[b], KV{k, v})
+		})
+	}
+
+	// Shuffle: pairwise exchange of partitions, the all-to-all of a
+	// MapReduce job.
+	mine := buckets[me]
+	for off := 1; off < workers; off++ {
+		dst := (me+off)%workers + 1
+		src := (me-off+workers)%workers + 1
+		got := r.SendrecvData(dst, encodeKVs(buckets[(me+off)%workers]), src)
+		mine = append(mine, decodeKVs(got)...)
+	}
+
+	// Reduce phase: group by key and fold.
+	byKey := make(map[string][]string)
+	for _, kv := range mine {
+		byKey[kv.K] = append(byKey[kv.K], kv.V)
+	}
+	keys := make([]string, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	results := make([]KV, 0, len(keys))
+	for _, k := range keys {
+		results = append(results, KV{k, job.Reduce(k, byKey[k])})
+	}
+	r.SendData(0, encodeKVs(results))
+}
+
+// partition hashes a key to a reducer (FNV-1a).
+func partition(k string, n int) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(k); i++ {
+		h ^= uint32(k[i])
+		h *= 16777619
+	}
+	return int(h % uint32(n))
+}
+
+func encodeStrings(ss []string) []byte {
+	var b bytes.Buffer
+	if err := gob.NewEncoder(&b).Encode(ss); err != nil {
+		panic(fmt.Sprintf("mapreduce: encode: %v", err))
+	}
+	return b.Bytes()
+}
+
+func decodeStrings(data []byte) []string {
+	var ss []string
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&ss); err != nil {
+		panic(fmt.Sprintf("mapreduce: decode: %v", err))
+	}
+	return ss
+}
+
+func encodeKVs(kvs []KV) []byte {
+	var b bytes.Buffer
+	if err := gob.NewEncoder(&b).Encode(kvs); err != nil {
+		panic(fmt.Sprintf("mapreduce: encode: %v", err))
+	}
+	return b.Bytes()
+}
+
+func decodeKVs(data []byte) []KV {
+	var kvs []KV
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&kvs); err != nil {
+		panic(fmt.Sprintf("mapreduce: decode: %v", err))
+	}
+	return kvs
+}

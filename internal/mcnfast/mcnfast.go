@@ -1,0 +1,155 @@
+// Package mcnfast implements the paper's Sec. VII future work: a
+// specialized transport for MCN that bypasses the TCP/IP stack entirely
+// and treats the SRAM rings as a shared-memory message channel (in the
+// spirit of user-space stacks like mTCP, but simpler because the medium
+// permits it).
+//
+// The memory channel gives three properties TCP pays dearly to recreate:
+// it is lossless (ring writes block rather than drop), ordered (FIFO
+// rings), and error-protected (ECC/CRC on the channel). What remains is
+// flow control, which mcnfast provides with byte credits: the receiver
+// grants a window of bytes, consumed messages return credits in small
+// grant frames. No checksums, no sequence numbers, no ACK clock — the
+// ~25% ACK overhead the paper measures in TCP (Sec. VII) disappears.
+package mcnfast
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/mcn-arch/mcn/internal/core"
+	"github.com/mcn-arch/mcn/internal/netstack"
+	"github.com/mcn-arch/mcn/internal/node"
+	"github.com/mcn-arch/mcn/internal/sim"
+)
+
+// EtherType is the experimental EtherType carrying mcnfast frames.
+const EtherType = 0x88B5
+
+// Frame kinds.
+const (
+	kindData   = 1
+	kindCredit = 2
+)
+
+const fastHeaderBytes = 5 // 1B kind + 4B length/credit
+
+// DefaultWindow is the initial credit grant in bytes (half a ring).
+const DefaultWindow = 20 << 10
+
+// Endpoint is one side of a host<->MCN-node fast channel.
+type Endpoint struct {
+	k        *sim.Kernel
+	name     string
+	selfMAC  netstack.MAC
+	peerMAC  netstack.MAC
+	transmit func(p *sim.Proc, frame []byte)
+
+	credits   int
+	creditSig *sim.Signal
+	rxq       *sim.Queue[[]byte]
+	consumed  int // bytes delivered but not yet returned as credits
+
+	// Stats.
+	Sent, Rcvd       int64
+	BytesSent        int64
+	CreditFramesSent int64
+	CreditFramesRcvd int64
+}
+
+// Pair connects the host and one of its MCN nodes with a fast channel,
+// returning (host endpoint, MCN endpoint). It claims both drivers' FastRx
+// hooks.
+func Pair(k *sim.Kernel, h *node.Host, m *node.McnNode) (*Endpoint, *Endpoint) {
+	port := m.Port
+	hostEnd := &Endpoint{
+		k: k, name: "fast/host", selfMAC: port.MAC(), peerMAC: port.McnMAC(),
+		credits: DefaultWindow, creditSig: k.NewSignal(),
+		rxq: sim.NewQueue[[]byte](k, 0),
+	}
+	mcnEnd := &Endpoint{
+		k: k, name: "fast/" + m.Name, selfMAC: port.McnMAC(), peerMAC: port.MAC(),
+		credits: DefaultWindow, creditSig: k.NewSignal(),
+		rxq: sim.NewQueue[[]byte](k, 0),
+	}
+	hostEnd.transmit = func(p *sim.Proc, frame []byte) {
+		port.Transmit(p, netstack.Frame{Data: frame})
+	}
+	mcnEnd.transmit = func(p *sim.Proc, frame []byte) {
+		m.Drv.Transmit(p, netstack.Frame{Data: frame})
+	}
+	h.Driver.FastRx = func(p *sim.Proc, src *core.HostPort, frame []byte) {
+		hostEnd.onFrame(frame)
+	}
+	m.Drv.FastRx = func(p *sim.Proc, frame []byte) {
+		mcnEnd.onFrame(frame)
+	}
+	return hostEnd, mcnEnd
+}
+
+// Send transmits one message, blocking while the peer's credit window is
+// exhausted.
+func (e *Endpoint) Send(p *sim.Proc, msg []byte) {
+	need := fastHeaderBytes + len(msg)
+	for e.credits < need {
+		e.creditSig.Wait(p)
+	}
+	e.credits -= need
+	frame := make([]byte, netstack.EthHeaderBytes+fastHeaderBytes+len(msg))
+	netstack.PutEth(frame, netstack.EthHeader{Dst: e.peerMAC, Src: e.selfMAC, Type: EtherType})
+	frame[netstack.EthHeaderBytes] = kindData
+	binary.LittleEndian.PutUint32(frame[netstack.EthHeaderBytes+1:], uint32(len(msg)))
+	copy(frame[netstack.EthHeaderBytes+fastHeaderBytes:], msg)
+	e.transmit(p, frame)
+	e.Sent++
+	e.BytesSent += int64(len(msg))
+}
+
+// Recv returns the next message; consuming it returns credits to the peer
+// once enough accumulate.
+func (e *Endpoint) Recv(p *sim.Proc) []byte {
+	msg, ok := e.rxq.Get(p)
+	if !ok {
+		return nil
+	}
+	e.Rcvd++
+	e.consumed += fastHeaderBytes + len(msg)
+	if e.consumed >= DefaultWindow/2 {
+		grant := e.consumed
+		e.consumed = 0
+		frame := make([]byte, netstack.EthHeaderBytes+fastHeaderBytes)
+		netstack.PutEth(frame, netstack.EthHeader{Dst: e.peerMAC, Src: e.selfMAC, Type: EtherType})
+		frame[netstack.EthHeaderBytes] = kindCredit
+		binary.LittleEndian.PutUint32(frame[netstack.EthHeaderBytes+1:], uint32(grant))
+		e.transmit(p, frame)
+		e.CreditFramesSent++
+	}
+	return msg
+}
+
+// onFrame runs in the receiving driver's context.
+func (e *Endpoint) onFrame(frame []byte) {
+	if len(frame) < netstack.EthHeaderBytes+fastHeaderBytes {
+		return
+	}
+	body := frame[netstack.EthHeaderBytes:]
+	n := int(binary.LittleEndian.Uint32(body[1:5]))
+	switch body[0] {
+	case kindData:
+		if len(body) < fastHeaderBytes+n {
+			return
+		}
+		msg := make([]byte, n)
+		copy(msg, body[fastHeaderBytes:])
+		e.rxq.TryPut(msg)
+	case kindCredit:
+		e.credits += n
+		e.CreditFramesRcvd++
+		e.creditSig.Notify()
+	}
+}
+
+// String describes the endpoint.
+func (e *Endpoint) String() string {
+	return fmt.Sprintf("%s sent=%d rcvd=%d credits=%d", e.name, e.Sent, e.Rcvd, e.credits)
+}

@@ -1,0 +1,191 @@
+package mcnfast
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"github.com/mcn-arch/mcn/internal/cluster"
+	"github.com/mcn-arch/mcn/internal/core"
+	"github.com/mcn-arch/mcn/internal/sim"
+)
+
+func setup(level core.OptLevel) (*sim.Kernel, *cluster.McnServer, *Endpoint, *Endpoint) {
+	k := sim.NewKernel()
+	s := cluster.NewMcnServer(k, 1, level.Options())
+	he, me := Pair(k, s.Host, s.Mcns[0])
+	return k, s, he, me
+}
+
+func TestEchoRoundTrip(t *testing.T) {
+	k, _, he, me := setup(core.MCN1)
+	k.Go("mcn-echo", func(p *sim.Proc) {
+		for {
+			msg := me.Recv(p)
+			if msg == nil {
+				return
+			}
+			me.Send(p, msg)
+		}
+	})
+	var got []byte
+	k.Go("host", func(p *sim.Proc) {
+		he.Send(p, []byte("fast-path"))
+		got = he.Recv(p)
+	})
+	k.RunUntil(sim.Time(sim.Second))
+	if string(got) != "fast-path" {
+		t.Fatalf("echo got %q", got)
+	}
+	k.Shutdown()
+}
+
+func TestManyMessagesOrdered(t *testing.T) {
+	k, _, he, me := setup(core.MCN1)
+	const n = 500
+	var fail string
+	k.Go("sink", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			msg := me.Recv(p)
+			want := fmt.Sprintf("msg-%04d", i)
+			if string(msg) != want {
+				fail = fmt.Sprintf("message %d: got %q want %q", i, msg, want)
+				return
+			}
+		}
+	})
+	k.Go("source", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			he.Send(p, []byte(fmt.Sprintf("msg-%04d", i)))
+		}
+	})
+	k.RunUntil(sim.Time(5 * sim.Second))
+	if fail != "" {
+		t.Fatal(fail)
+	}
+	if me.Rcvd != n {
+		t.Fatalf("delivered %d/%d", me.Rcvd, n)
+	}
+	k.Shutdown()
+}
+
+func TestCreditFlowControlBlocksSender(t *testing.T) {
+	k, _, he, me := setup(core.MCN1)
+	// Nobody receives: the sender must stall once the window is consumed.
+	sent := 0
+	k.Go("source", func(p *sim.Proc) {
+		for i := 0; i < 100; i++ {
+			he.Send(p, make([]byte, 1024))
+			sent++
+		}
+	})
+	k.RunUntil(sim.Time(50 * sim.Millisecond))
+	if sent >= 100 {
+		t.Fatal("sender never blocked on credits")
+	}
+	maxInWindow := DefaultWindow / (1024 + fastHeaderBytes)
+	if sent > maxInWindow+1 {
+		t.Fatalf("sent %d messages, window only allows ~%d", sent, maxInWindow)
+	}
+	// Start consuming: credits flow back and the sender finishes.
+	k.Go("late-sink", func(p *sim.Proc) {
+		for i := 0; i < 100; i++ {
+			me.Recv(p)
+		}
+	})
+	k.RunUntil(sim.Time(2 * sim.Second))
+	if sent != 100 {
+		t.Fatalf("sender finished %d/100 after credits returned", sent)
+	}
+	if me.CreditFramesSent == 0 {
+		t.Fatal("no credit frames were generated")
+	}
+	k.Shutdown()
+}
+
+func TestFastBeatsTCPSmallMessageLatency(t *testing.T) {
+	// The Sec. VII claim: bypassing TCP/IP cuts small-message round-trip
+	// latency on the memory channel.
+	fastRTT := func() sim.Duration {
+		k, _, he, me := setup(core.MCN1)
+		k.Go("echo", func(p *sim.Proc) {
+			for {
+				msg := me.Recv(p)
+				if msg == nil {
+					return
+				}
+				me.Send(p, msg)
+			}
+		})
+		var total sim.Duration
+		k.Go("host", func(p *sim.Proc) {
+			msg := make([]byte, 64)
+			start := p.Now()
+			for i := 0; i < 10; i++ {
+				he.Send(p, msg)
+				he.Recv(p)
+			}
+			total = p.Now().Sub(start) / 10
+		})
+		k.RunUntil(sim.Time(sim.Second))
+		k.Shutdown()
+		return total
+	}
+
+	tcpRTT := func() sim.Duration {
+		k := sim.NewKernel()
+		s := cluster.NewMcnServer(k, 1, core.MCN1.Options())
+		var total sim.Duration
+		k.Go("server", func(p *sim.Proc) {
+			l, _ := s.Mcns[0].Stack.Listen(5001)
+			c, _ := l.Accept(p)
+			buf := make([]byte, 64)
+			for {
+				n, ok := c.Recv(p, buf)
+				if !ok {
+					return
+				}
+				c.Send(p, buf[:n])
+			}
+		})
+		k.Go("client", func(p *sim.Proc) {
+			c, err := s.Host.Stack.Connect(p, s.Mcns[0].IP, 5001)
+			if err != nil {
+				panic(err)
+			}
+			msg := make([]byte, 64)
+			buf := make([]byte, 64)
+			start := p.Now()
+			for i := 0; i < 10; i++ {
+				c.Send(p, msg)
+				got := 0
+				for got < 64 {
+					n, _ := c.Recv(p, buf[got:])
+					got += n
+				}
+			}
+			total = p.Now().Sub(start) / 10
+		})
+		k.RunUntil(sim.Time(sim.Second))
+		k.Shutdown()
+		return total
+	}
+
+	f, tc := fastRTT(), tcpRTT()
+	if f >= tc {
+		t.Fatalf("mcnfast rtt %v should beat TCP rtt %v", f, tc)
+	}
+}
+
+func TestLargePayloadIntegrity(t *testing.T) {
+	k, _, he, me := setup(core.MCN3)
+	payload := bytes.Repeat([]byte{0x5C}, 9000)
+	var got []byte
+	k.Go("sink", func(p *sim.Proc) { got = me.Recv(p) })
+	k.Go("source", func(p *sim.Proc) { he.Send(p, payload) })
+	k.RunUntil(sim.Time(sim.Second))
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload corrupted: %d bytes", len(got))
+	}
+	k.Shutdown()
+}

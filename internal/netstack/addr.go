@@ -1,0 +1,82 @@
+// Package netstack implements a compact but real TCP/IP network stack over
+// simulated network devices: byte-accurate Ethernet II, IPv4, ICMP, UDP and
+// TCP (sliding window, delayed ACKs, slow start/AIMD congestion control,
+// retransmission, TSO), with per-interface routing that follows the MCN
+// paper's network organization (Sec. III-B): host-side virtual interfaces
+// with /32 masks, MCN-side interfaces with a 0.0.0.0 mask that forwards
+// everything to the host.
+//
+// Protocol processing costs are charged on the owning node's CPU through
+// the ProtoCosts table, so software overheads (and the optimizations that
+// remove them: checksum bypass, large MTU, TSO) shape throughput and
+// latency the way they do in Linux.
+package netstack
+
+import "fmt"
+
+// MAC is a 48-bit Ethernet address.
+type MAC [6]byte
+
+// BroadcastMAC is the all-ones broadcast address.
+var BroadcastMAC = MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+
+// IsBroadcast reports whether m is the broadcast address.
+func (m MAC) IsBroadcast() bool { return m == BroadcastMAC }
+
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// NewMAC builds a locally administered MAC from a small integer id.
+func NewMAC(id uint32) MAC {
+	return MAC{0x02, 0x4d, 0x43, byte(id >> 16), byte(id >> 8), byte(id)} // 02:4d:43 = local, "MC"
+}
+
+// IP is an IPv4 address.
+type IP [4]byte
+
+func (ip IP) String() string { return fmt.Sprintf("%d.%d.%d.%d", ip[0], ip[1], ip[2], ip[3]) }
+
+// IPv4 builds an address from four octets.
+func IPv4(a, b, c, d byte) IP { return IP{a, b, c, d} }
+
+// Loopback is 127.0.0.1.
+var Loopback = IPv4(127, 0, 0, 1)
+
+// IsLoopback reports whether ip falls in 127.0.0.0/8 (Sec. III-B footnote).
+func (ip IP) IsLoopback() bool { return ip[0] == 127 }
+
+// IsZero reports whether ip is 0.0.0.0.
+func (ip IP) IsZero() bool { return ip == IP{} }
+
+// Mask applies a netmask.
+func (ip IP) Mask(mask IP) IP {
+	var out IP
+	for i := range ip {
+		out[i] = ip[i] & mask[i]
+	}
+	return out
+}
+
+// MaskAll is the /32 mask used by the host-side MCN interfaces: a packet is
+// forwarded to such an interface iff the entire destination matches.
+var MaskAll = IPv4(255, 255, 255, 255)
+
+// MaskNone is the 0.0.0.0 mask of MCN-side interfaces: all outgoing packets
+// match and are forwarded to the host.
+var MaskNone = IPv4(0, 0, 0, 0)
+
+// Mask24 is a conventional /24 LAN mask.
+var Mask24 = IPv4(255, 255, 255, 0)
+
+// Protocol numbers used in the IPv4 header.
+const (
+	ProtoICMP = 1
+	ProtoTCP  = 6
+	ProtoUDP  = 17
+)
+
+// EtherType values.
+const (
+	EtherTypeIPv4 = 0x0800
+)

@@ -1,0 +1,116 @@
+package netstack
+
+import (
+	"testing"
+
+	"github.com/mcn-arch/mcn/internal/sim"
+)
+
+// newPairNoNeighbors builds a device pair without static neighbor tables,
+// so every resolution exercises ARP.
+func newPairNoNeighbors(t *testing.T) *pair {
+	t.Helper()
+	pr := newPair(t, 1500, false)
+	for _, s := range []*Stack{pr.a, pr.b} {
+		for _, ifc := range s.Ifaces() {
+			for k := range ifc.Neighbors {
+				delete(ifc.Neighbors, k)
+			}
+		}
+	}
+	return pr
+}
+
+func TestARPWireFormatRoundTrip(t *testing.T) {
+	b := make([]byte, arpPacketBytes)
+	p := arpPacket{Op: ARPReply, SenderMAC: NewMAC(7), SenderIP: IPv4(1, 2, 3, 4),
+		TargetMAC: NewMAC(9), TargetIP: IPv4(5, 6, 7, 8)}
+	putARP(b, p)
+	got, ok := parseARP(b)
+	if !ok || got != p {
+		t.Fatalf("roundtrip: %+v", got)
+	}
+}
+
+func TestARPResolvesAndCaches(t *testing.T) {
+	pr := newPairNoNeighbors(t)
+	var rtt1, rtt2 sim.Duration
+	pr.k.Go("pinger", func(p *sim.Proc) {
+		r1, ok1 := pr.a.Ping(p, IPv4(10, 0, 0, 2), 56, sim.Second)
+		r2, ok2 := pr.a.Ping(p, IPv4(10, 0, 0, 2), 56, sim.Second)
+		if !ok1 || !ok2 {
+			panic("ping over ARP failed")
+		}
+		rtt1, rtt2 = r1, r2
+	})
+	pr.k.Run()
+	if pr.a.ARPRequests == 0 || pr.b.ARPReplies == 0 {
+		t.Fatalf("no ARP exchange: req=%d rep=%d", pr.a.ARPRequests, pr.b.ARPReplies)
+	}
+	// The second ping hits the cache: strictly faster (no ARP RTT).
+	if rtt2 >= rtt1 {
+		t.Fatalf("cached resolution should be faster: first=%v second=%v", rtt1, rtt2)
+	}
+	if pr.a.ARPRequests != 1 {
+		t.Fatalf("cache miss on second ping: %d requests", pr.a.ARPRequests)
+	}
+}
+
+func TestARPFailureReturnsError(t *testing.T) {
+	pr := newPairNoNeighbors(t)
+	pr.ad.dropEvery = 1 // every frame from a dies: no resolution possible
+	var ok bool
+	pr.k.Go("pinger", func(p *sim.Proc) {
+		_, ok = pr.a.Ping(p, IPv4(10, 0, 0, 2), 56, 100*sim.Millisecond)
+	})
+	pr.k.RunUntil(sim.Time(2 * sim.Second))
+	if ok {
+		t.Fatal("ping should fail when ARP cannot resolve")
+	}
+	if pr.a.ARPRequests < int64(arpAttempts) {
+		t.Fatalf("expected %d retransmitted requests, saw %d", arpAttempts, pr.a.ARPRequests)
+	}
+}
+
+func TestARPConcurrentResolversShareOneExchange(t *testing.T) {
+	pr := newPairNoNeighbors(t)
+	done := 0
+	for i := 0; i < 4; i++ {
+		pr.k.Go("pinger", func(p *sim.Proc) {
+			if _, ok := pr.a.Ping(p, IPv4(10, 0, 0, 2), 32, sim.Second); ok {
+				done++
+			}
+		})
+	}
+	pr.k.Run()
+	if done != 4 {
+		t.Fatalf("only %d/4 concurrent pings succeeded", done)
+	}
+	// All four resolutions coalesce into one in-flight request (plus
+	// retries only if it were lost).
+	if pr.a.ARPRequests != 1 {
+		t.Fatalf("expected 1 coalesced ARP request, saw %d", pr.a.ARPRequests)
+	}
+}
+
+func TestTCPOverARP(t *testing.T) {
+	pr := newPairNoNeighbors(t)
+	var got int
+	pr.k.Go("server", func(p *sim.Proc) {
+		l, _ := pr.b.Listen(5001)
+		c, _ := l.Accept(p)
+		got = c.RecvAll(p)
+	})
+	pr.k.Go("client", func(p *sim.Proc) {
+		c, err := pr.a.Connect(p, IPv4(10, 0, 0, 2), 5001)
+		if err != nil {
+			panic(err)
+		}
+		c.SendN(p, 50000)
+		c.Close(p)
+	})
+	pr.k.RunUntil(sim.Time(5 * sim.Second))
+	if got != 50000 {
+		t.Fatalf("TCP over ARP moved %d bytes", got)
+	}
+}

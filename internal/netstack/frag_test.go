@@ -1,0 +1,110 @@
+package netstack
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/mcn-arch/mcn/internal/sim"
+)
+
+func TestPingFragmentsOver1500MTU(t *testing.T) {
+	pr := newPair(t, 1500, false)
+	var rtt sim.Duration
+	var ok bool
+	framesBefore := pr.ad.count
+	pr.k.Go("pinger", func(p *sim.Proc) {
+		rtt, ok = pr.a.Ping(p, IPv4(10, 0, 0, 2), 8000, sim.Second)
+	})
+	pr.k.Run()
+	if !ok {
+		t.Fatal("8KB ping lost over 1500 MTU")
+	}
+	sent := pr.ad.count - framesBefore
+	// 8008 bytes of ICMP need ceil(8008/1480)=6 fragments each way.
+	if sent != 6 {
+		t.Fatalf("client sent %d frames, want 6 fragments", sent)
+	}
+	if rtt < 10*sim.Microsecond {
+		t.Fatalf("fragmented rtt=%v implausibly fast", rtt)
+	}
+	pr.k.Shutdown()
+}
+
+func TestFragmentLossTimesOut(t *testing.T) {
+	pr := newPair(t, 1500, false)
+	pr.ad.dropEvery = 3 // lose a fragment of every request
+	var ok bool
+	pr.k.Go("pinger", func(p *sim.Proc) {
+		_, ok = pr.a.Ping(p, IPv4(10, 0, 0, 2), 8000, 10*sim.Millisecond)
+	})
+	pr.k.RunUntil(sim.Time(2 * sim.Second))
+	if ok {
+		t.Fatal("ping should fail when fragments are lost (no retransmission at the IP layer)")
+	}
+	if pr.b.Drops == 0 {
+		t.Fatal("receiver should record the timed-out reassembly")
+	}
+	pr.k.Shutdown()
+}
+
+func TestUDPFragmentation(t *testing.T) {
+	pr := newPair(t, 1500, false)
+	payload := bytes.Repeat([]byte{0xEE}, 5000)
+	var got Datagram
+	pr.k.Go("server", func(p *sim.Proc) {
+		u, _ := pr.b.UDPBind(9000)
+		got, _ = u.Recv(p)
+	})
+	pr.k.Go("client", func(p *sim.Proc) {
+		u, _ := pr.a.UDPBind(0)
+		p.Sleep(sim.Microsecond)
+		if err := u.SendTo(p, IPv4(10, 0, 0, 2), 9000, payload); err != nil {
+			panic(err)
+		}
+	})
+	pr.k.Run()
+	if !bytes.Equal(got.Data, payload) {
+		t.Fatalf("reassembled datagram corrupted: %d bytes, want %d", len(got.Data), len(payload))
+	}
+	pr.k.Shutdown()
+}
+
+func TestFragmentHeaderRoundTrip(t *testing.T) {
+	b := make([]byte, IPv4HeaderBytes)
+	h := IPv4Header{TotalLen: 1500, ID: 99, TTL: 64, Proto: ProtoUDP,
+		Src: IPv4(1, 2, 3, 4), Dst: IPv4(5, 6, 7, 8), MF: true, FragOff: 2960}
+	PutIPv4(b, h)
+	got, ok := ParseIPv4(b)
+	if !ok || !got.MF || got.DF || got.FragOff != 2960 {
+		t.Fatalf("frag fields roundtrip: %+v", got)
+	}
+	if !VerifyIPv4Checksum(b) {
+		t.Fatal("checksum broken with frag fields")
+	}
+}
+
+func TestOutOfOrderReassembly(t *testing.T) {
+	// Deliver fragments in reverse via direct reassemble calls.
+	k := sim.NewKernel()
+	s := NewStack(k, nil, "t", DefaultProtoCosts())
+	s.K = k
+	payload := bytes.Repeat([]byte{7}, 3000)
+	mk := func(off, n int, mf bool) (IPv4Header, []byte) {
+		return IPv4Header{ID: 5, Proto: ProtoUDP, Src: IPv4(1, 1, 1, 1), Dst: IPv4(2, 2, 2, 2),
+			MF: mf, FragOff: off}, payload[off : off+n]
+	}
+	h2, b2 := mk(1480, 1480, true)
+	h3, b3 := mk(2960, 40, false)
+	h1, b1 := mk(0, 1480, true)
+	if out := s.reassemble(h3, b3); out != nil {
+		t.Fatal("incomplete reassembly returned data")
+	}
+	if out := s.reassemble(h1, b1); out != nil {
+		t.Fatal("incomplete reassembly returned data")
+	}
+	out := s.reassemble(h2, b2)
+	if !bytes.Equal(out, payload) {
+		t.Fatalf("out-of-order reassembly failed: %d bytes", len(out))
+	}
+	k.Shutdown()
+}

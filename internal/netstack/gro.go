@@ -1,0 +1,154 @@
+package netstack
+
+// CoalesceTCP implements receive-side coalescing (LRO/GRO): consecutive
+// in-order TCP segments of the same flow arriving in one burst are merged
+// into a single super-frame before the per-packet receive path runs. This
+// is what lets a real 10GbE NIC reach line rate with a 1.5KB MTU, and it is
+// the receive-side dual of TSO.
+//
+// Frames that are not TCP/IPv4, have unexpected flags (SYN/FIN/RST/URG), or
+// break sequence continuity start a new group. maxBytes bounds one merged
+// payload. The returned slices reuse parsed data but are freshly allocated
+// when merging occurs.
+func CoalesceTCP(frames [][]byte, maxBytes int) [][]byte {
+	if len(frames) <= 1 {
+		return frames
+	}
+	// GRO keeps one open bucket per flow, so frames of different flows
+	// interleaved by a switch still coalesce.
+	type bucket struct {
+		meta    lroMeta
+		payload []byte
+		nextSeq uint32
+		lastAck uint32
+		lastWnd uint32
+		flags   uint8
+		order   int
+		merged  bool
+	}
+	type flowKey struct {
+		src, dst         IP
+		srcPort, dstPort uint16
+	}
+	buckets := make(map[flowKey]*bucket)
+	var opened []*bucket // insertion order: keeps the output deterministic
+	var done []*bucket
+	var raw []struct {
+		frame []byte
+		order int
+	}
+	order := 0
+	flush := func(b *bucket) { done = append(done, b) }
+	for _, fr := range frames {
+		meta, ok := lroParse(fr)
+		if !ok {
+			raw = append(raw, struct {
+				frame []byte
+				order int
+			}{fr, order})
+			order++
+			continue
+		}
+		key := flowKey{meta.ih.Src, meta.ih.Dst, meta.th.SrcPort, meta.th.DstPort}
+		b := buckets[key]
+		if b != nil && (meta.th.Seq != b.nextSeq || len(b.payload)+len(meta.payload) > maxBytes) {
+			flush(b)
+			b = nil
+		}
+		if b == nil {
+			b = &bucket{
+				meta:    meta,
+				payload: meta.payload,
+				nextSeq: meta.th.Seq + uint32(len(meta.payload)),
+				lastAck: meta.th.Ack, lastWnd: meta.th.Window, flags: meta.th.Flags,
+				order: order,
+			}
+			order++
+			buckets[key] = b
+			opened = append(opened, b)
+			continue
+		}
+		if !b.merged {
+			b.payload = append(append([]byte{}, b.payload...), meta.payload...)
+			b.merged = true
+		} else {
+			b.payload = append(b.payload, meta.payload...)
+		}
+		b.nextSeq += uint32(len(meta.payload))
+		b.lastAck = meta.th.Ack
+		b.lastWnd = meta.th.Window
+		b.flags |= meta.th.Flags
+	}
+	flushed := make(map[*bucket]bool, len(done))
+	for _, b := range done {
+		flushed[b] = true
+	}
+	for _, b := range opened {
+		if !flushed[b] {
+			flush(b)
+		}
+	}
+
+	out := make([][]byte, order)
+	for _, r := range raw {
+		out[r.order] = r.frame
+	}
+	for _, b := range done {
+		if !b.merged {
+			out[b.order] = rebuild(b.meta, b.meta.payload, b.meta.th.Ack, b.meta.th.Window, b.meta.th.Flags)
+			continue
+		}
+		out[b.order] = rebuild(b.meta, b.payload, b.lastAck, b.lastWnd, b.flags)
+	}
+	return out
+}
+
+// rebuild assembles a frame from parsed metadata and a (possibly merged)
+// payload.
+func rebuild(meta lroMeta, payload []byte, ack, wnd uint32, flags uint8) []byte {
+	merged := make([]byte, EthHeaderBytes+IPv4HeaderBytes+TCPHeaderBytes+len(payload))
+	PutEth(merged, meta.eh)
+	PutIPv4(merged[EthHeaderBytes:], IPv4Header{
+		TotalLen: uint16(IPv4HeaderBytes + TCPHeaderBytes + len(payload)),
+		ID:       meta.ih.ID, TTL: meta.ih.TTL, Proto: ProtoTCP,
+		Src: meta.ih.Src, Dst: meta.ih.Dst,
+	})
+	PutTCP(merged[EthHeaderBytes+IPv4HeaderBytes:], TCPHeader{
+		SrcPort: meta.th.SrcPort, DstPort: meta.th.DstPort,
+		Seq: meta.th.Seq, Ack: ack, Flags: flags, Window: wnd,
+	}, meta.ih.Src, meta.ih.Dst, payload)
+	copy(merged[EthHeaderBytes+IPv4HeaderBytes+TCPHeaderBytes:], payload)
+	return merged
+}
+
+type lroMeta struct {
+	eh      EthHeader
+	ih      IPv4Header
+	th      TCPHeader
+	payload []byte
+}
+
+func lroParse(frame []byte) (lroMeta, bool) {
+	eh, ok := ParseEth(frame)
+	if !ok || eh.Type != EtherTypeIPv4 {
+		return lroMeta{}, false
+	}
+	ih, ok := ParseIPv4(frame[EthHeaderBytes:])
+	if !ok || ih.Proto != ProtoTCP || int(ih.TotalLen)+EthHeaderBytes > len(frame) {
+		return lroMeta{}, false
+	}
+	tcpSeg := frame[EthHeaderBytes : EthHeaderBytes+int(ih.TotalLen)][IPv4HeaderBytes:]
+	th, ok := ParseTCP(tcpSeg)
+	if !ok {
+		return lroMeta{}, false
+	}
+	// Only plain data segments coalesce.
+	if th.Flags&^(TCPAck|TCPPsh) != 0 {
+		return lroMeta{}, false
+	}
+	payload := tcpSeg[TCPHeaderBytes:]
+	if len(payload) == 0 {
+		return lroMeta{}, false
+	}
+	return lroMeta{eh: eh, ih: ih, th: th, payload: payload}, true
+}

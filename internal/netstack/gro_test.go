@@ -1,0 +1,142 @@
+package netstack
+
+import (
+	"bytes"
+	"testing"
+)
+
+// mkSeg builds one TCP data frame for GRO tests.
+func mkSeg(src, dst IP, sport, dport uint16, seq uint32, payload []byte, flags uint8) []byte {
+	f := make([]byte, EthHeaderBytes+IPv4HeaderBytes+TCPHeaderBytes+len(payload))
+	PutEth(f, EthHeader{Dst: NewMAC(1), Src: NewMAC(2), Type: EtherTypeIPv4})
+	PutIPv4(f[EthHeaderBytes:], IPv4Header{
+		TotalLen: uint16(IPv4HeaderBytes + TCPHeaderBytes + len(payload)),
+		TTL:      64, Proto: ProtoTCP, Src: src, Dst: dst,
+	})
+	PutTCP(f[EthHeaderBytes+IPv4HeaderBytes:], TCPHeader{
+		SrcPort: sport, DstPort: dport, Seq: seq, Flags: flags, Window: 1 << 16,
+	}, src, dst, payload)
+	copy(f[EthHeaderBytes+IPv4HeaderBytes+TCPHeaderBytes:], payload)
+	return f
+}
+
+func groPayload(t *testing.T, frame []byte) []byte {
+	t.Helper()
+	ih, ok := ParseIPv4(frame[EthHeaderBytes:])
+	if !ok {
+		t.Fatal("bad IPv4 in merged frame")
+	}
+	return frame[EthHeaderBytes+IPv4HeaderBytes+TCPHeaderBytes : EthHeaderBytes+int(ih.TotalLen)]
+}
+
+func TestGROMergesContiguousSameFlow(t *testing.T) {
+	src, dst := IPv4(1, 1, 1, 1), IPv4(2, 2, 2, 2)
+	a := bytes.Repeat([]byte{'a'}, 1000)
+	b := bytes.Repeat([]byte{'b'}, 1000)
+	c := bytes.Repeat([]byte{'c'}, 1000)
+	frames := [][]byte{
+		mkSeg(src, dst, 10, 20, 100, a, TCPAck),
+		mkSeg(src, dst, 10, 20, 1100, b, TCPAck),
+		mkSeg(src, dst, 10, 20, 2100, c, TCPAck|TCPPsh),
+	}
+	out := CoalesceTCP(frames, 64<<10)
+	if len(out) != 1 {
+		t.Fatalf("merged into %d frames, want 1", len(out))
+	}
+	got := groPayload(t, out[0])
+	want := append(append(append([]byte{}, a...), b...), c...)
+	if !bytes.Equal(got, want) {
+		t.Fatal("merged payload corrupted")
+	}
+	th, _ := ParseTCP(out[0][EthHeaderBytes+IPv4HeaderBytes:])
+	if th.Seq != 100 {
+		t.Fatalf("merged seq=%d", th.Seq)
+	}
+	if th.Flags&TCPPsh == 0 {
+		t.Fatal("PSH from the last segment lost")
+	}
+	if !VerifyTCPChecksum(out[0][EthHeaderBytes+IPv4HeaderBytes:], src, dst) {
+		t.Fatal("merged frame checksum invalid")
+	}
+}
+
+func TestGROMergesInterleavedFlows(t *testing.T) {
+	// Two flows interleaved by a switch must each coalesce — the case
+	// that breaks adjacency-only LRO.
+	s1, s2, dst := IPv4(1, 1, 1, 1), IPv4(3, 3, 3, 3), IPv4(2, 2, 2, 2)
+	pay := bytes.Repeat([]byte{'x'}, 500)
+	frames := [][]byte{
+		mkSeg(s1, dst, 10, 20, 0, pay, TCPAck),
+		mkSeg(s2, dst, 11, 20, 0, pay, TCPAck),
+		mkSeg(s1, dst, 10, 20, 500, pay, TCPAck),
+		mkSeg(s2, dst, 11, 20, 500, pay, TCPAck),
+		mkSeg(s1, dst, 10, 20, 1000, pay, TCPAck),
+		mkSeg(s2, dst, 11, 20, 1000, pay, TCPAck),
+	}
+	out := CoalesceTCP(frames, 64<<10)
+	if len(out) != 2 {
+		t.Fatalf("got %d frames, want 2 (one per flow)", len(out))
+	}
+	for _, f := range out {
+		if got := len(groPayload(t, f)); got != 1500 {
+			t.Fatalf("merged payload %d bytes, want 1500", got)
+		}
+	}
+}
+
+func TestGROSeqGapBreaksMerge(t *testing.T) {
+	src, dst := IPv4(1, 1, 1, 1), IPv4(2, 2, 2, 2)
+	pay := bytes.Repeat([]byte{'x'}, 100)
+	frames := [][]byte{
+		mkSeg(src, dst, 10, 20, 0, pay, TCPAck),
+		mkSeg(src, dst, 10, 20, 500, pay, TCPAck), // gap: 100 != 500
+	}
+	out := CoalesceTCP(frames, 64<<10)
+	if len(out) != 2 {
+		t.Fatalf("a sequence gap must not merge; got %d frames", len(out))
+	}
+}
+
+func TestGROControlFlagsPassThrough(t *testing.T) {
+	src, dst := IPv4(1, 1, 1, 1), IPv4(2, 2, 2, 2)
+	pay := bytes.Repeat([]byte{'x'}, 100)
+	syn := mkSeg(src, dst, 10, 20, 0, nil, TCPSyn)
+	data := mkSeg(src, dst, 10, 20, 1, pay, TCPAck)
+	out := CoalesceTCP([][]byte{syn, data}, 64<<10)
+	if len(out) != 2 {
+		t.Fatalf("SYN must not coalesce; got %d frames", len(out))
+	}
+	if th, _ := ParseTCP(out[0][EthHeaderBytes+IPv4HeaderBytes:]); th.Flags&TCPSyn == 0 {
+		t.Fatal("SYN frame reordered or lost")
+	}
+}
+
+func TestGRORespectsMaxBytes(t *testing.T) {
+	src, dst := IPv4(1, 1, 1, 1), IPv4(2, 2, 2, 2)
+	pay := bytes.Repeat([]byte{'x'}, 1000)
+	var frames [][]byte
+	for i := 0; i < 5; i++ {
+		frames = append(frames, mkSeg(src, dst, 10, 20, uint32(i*1000), pay, TCPAck))
+	}
+	out := CoalesceTCP(frames, 2500)
+	// 1000+1000 fits, +1000 exceeds 2500 -> groups of 2,2,1.
+	if len(out) != 3 {
+		t.Fatalf("got %d frames, want 3", len(out))
+	}
+}
+
+func TestGROPreservesDeterministicOrder(t *testing.T) {
+	src1, src2, dst := IPv4(1, 1, 1, 1), IPv4(3, 3, 3, 3), IPv4(2, 2, 2, 2)
+	pay := bytes.Repeat([]byte{'x'}, 100)
+	frames := [][]byte{
+		mkSeg(src2, dst, 11, 20, 0, pay, TCPAck),
+		mkSeg(src1, dst, 10, 20, 0, pay, TCPAck),
+	}
+	for i := 0; i < 10; i++ {
+		out := CoalesceTCP(frames, 64<<10)
+		ih0, _ := ParseIPv4(out[0][EthHeaderBytes:])
+		if ih0.Src != src2 {
+			t.Fatal("first-seen flow must come out first, every time")
+		}
+	}
+}

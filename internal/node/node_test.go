@@ -1,0 +1,89 @@
+package node
+
+import (
+	"testing"
+
+	"github.com/mcn-arch/mcn/internal/core"
+	"github.com/mcn-arch/mcn/internal/sim"
+)
+
+func TestTableIIConfigs(t *testing.T) {
+	h := HostConfig("h")
+	if h.Cores != 8 || h.FreqHz != sim.GHz(3.4) || h.Channels != 2 {
+		t.Fatalf("host config %+v", h)
+	}
+	m := McnConfig("m")
+	if m.Cores != 4 || m.FreqHz != sim.GHz(2.45) || m.Channels != 1 {
+		t.Fatalf("mcn config %+v", m)
+	}
+	c := ContuttoConfig("c")
+	if c.Cores != 1 || c.FreqHz != 266e6 {
+		t.Fatalf("contutto config %+v", c)
+	}
+}
+
+func TestNodeCopyChargesMemory(t *testing.T) {
+	k := sim.NewKernel()
+	n := New(k, HostConfig("h"))
+	k.Go("copy", func(p *sim.Proc) {
+		n.Stack.Copy(p, 1<<20)
+	})
+	k.Run()
+	// A 1MB copy moves 2MB (read + write) through DRAM.
+	if got := n.TotalDRAMBytes(); got < 2<<20 {
+		t.Fatalf("copy moved only %d DRAM bytes", got)
+	}
+	// And the core was held for the duration.
+	if n.CPU.Busy.Busy <= 0 {
+		t.Fatal("copy did not occupy a core")
+	}
+	k.Shutdown()
+}
+
+func TestMemStreamUsesAllChannels(t *testing.T) {
+	k := sim.NewKernel()
+	n := New(k, HostConfig("h"))
+	k.Go("s", func(p *sim.Proc) { n.MemStream(p, 4<<20, false) })
+	k.Run()
+	for i, ch := range n.Channels {
+		if ch.Bytes.Total == 0 {
+			t.Fatalf("channel %d saw no traffic", i)
+		}
+	}
+	k.Shutdown()
+}
+
+func TestAttachMCNDistributesChannels(t *testing.T) {
+	k := sim.NewKernel()
+	h := NewHost(k, HostConfig("h"))
+	mcns := h.AttachMCN(4, core.MCN0.Options(), McnConfig(""))
+	if len(mcns) != 4 {
+		t.Fatalf("attached %d", len(mcns))
+	}
+	if mcns[0].Dimm.ChannelIdx == mcns[1].Dimm.ChannelIdx {
+		t.Fatal("first two DIMMs should land on different channels")
+	}
+	if mcns[0].Dimm.ChannelIdx != mcns[2].Dimm.ChannelIdx {
+		t.Fatal("DIMMs 0 and 2 should share channel 0")
+	}
+	// No static neighbor entries: resolution happens via real ARP.
+	for _, m := range mcns {
+		if n := len(m.Stack.Ifaces()[0].Neighbors); n != 0 {
+			t.Fatalf("%s should start with an empty neighbor table, has %d entries", m.Name, n)
+		}
+	}
+	k.Shutdown()
+}
+
+func TestAttachMCNTwicePanics(t *testing.T) {
+	k := sim.NewKernel()
+	h := NewHost(k, HostConfig("h"))
+	h.AttachMCN(1, core.MCN0.Options(), McnConfig(""))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second AttachMCN should panic")
+		}
+		k.Shutdown()
+	}()
+	h.AttachMCN(1, core.MCN0.Options(), McnConfig(""))
+}

@@ -1,0 +1,216 @@
+// Package npb provides communication- and memory-fidelity skeletons of the
+// NAS Parallel Benchmarks used in the paper's evaluation (Figs. 9-11):
+// each kernel reproduces the original's communication pattern (who talks
+// to whom, how often, with what message sizes) and its compute character
+// (memory-bound vs flop-bound) through the MPI roofline model. The numeric
+// payloads are synthetic.
+//
+// Sizes are scaled so a full run takes milliseconds of simulated time; the
+// scale parameter multiplies the per-rank working set (1.0 is the default
+// used by the benches).
+package npb
+
+import "github.com/mcn-arch/mcn/internal/mpi"
+
+// KernelFunc runs one benchmark body on a rank.
+type KernelFunc func(r *mpi.Rank, scale float64)
+
+// Kernels maps kernel names to implementations.
+var Kernels = map[string]KernelFunc{
+	"bt": BT,
+	"cg": CG,
+	"ep": EP,
+	"ft": FT,
+	"is": IS,
+	"lu": LU,
+	"mg": MG,
+	"sp": SP,
+}
+
+// Names lists the kernels in the paper's plotting order.
+var Names = []string{"bt", "cg", "ep", "ft", "is", "lu", "mg", "sp"}
+
+func scaled(scale float64, v int64) int64 { return int64(scale * float64(v)) }
+
+// EP is the embarrassingly parallel kernel: pure computation (random
+// number generation, flop-bound, negligible memory traffic), with one
+// final small reduction. Fig. 11: insensitive to memory bandwidth, so MCN
+// provides no speedup.
+func EP(r *mpi.Rank, scale float64) {
+	total := scaled(scale, 6_000_000_000) // total flops across ranks
+	per := total / int64(r.W.Size())
+	r.Compute(per, per/64) // ~tiny memory footprint
+	r.Allreduce(10 * 8)    // 10 doubles of statistics
+}
+
+// CG is the conjugate-gradient kernel: a memory-bound sparse matrix-vector
+// product each iteration plus frequent, irregular, latency-sensitive
+// exchanges (transpose communication and two dot-product reductions per
+// iteration). Fig. 11: the heavy small-message traffic makes CG lose on an
+// MCN server with few DIMMs.
+func CG(r *mpi.Rank, scale float64) {
+	const iters = 25
+	p := r.W.Size()
+	rowBytes := scaled(scale, 64<<20) / int64(p) // per-rank sparse rows
+	exch := int(scaled(scale, 64<<10))           // transpose slabs
+	for it := 0; it < iters; it++ {
+		// SpMV: ~0.15 flops/byte.
+		r.Compute(rowBytes/8, rowBytes)
+		if p > 1 {
+			// CG's transpose is many irregular exchanges per iteration
+			// interleaved with reduce chains — this per-message traffic
+			// is what makes CG lose on an MCN server with few DIMMs
+			// (Sec. VI-B: the overhead of frequent MCN-host crossings
+			// offsets the bandwidth gain).
+			for hop := 0; hop < 12; hop++ {
+				dst := (r.ID + hop + 1) % p
+				src := ((r.ID-hop-1)%p + p) % p
+				if dst != r.ID {
+					r.Sendrecv(dst, exch, src)
+				}
+				if hop%3 == 2 {
+					r.Allreduce(8) // interleaved dot products
+				}
+			}
+			r.Allreduce(8)
+			r.Allreduce(8)
+		}
+	}
+}
+
+// MG is the multigrid kernel: V-cycles over a level hierarchy with
+// nearest-neighbor halo exchanges whose sizes shrink at coarser levels;
+// compute is strongly memory-bound at the fine levels.
+func MG(r *mpi.Rank, scale float64) {
+	const cycles = 4
+	const levels = 4
+	p := r.W.Size()
+	fineBytes := scaled(scale, 160<<20) / int64(p)
+	for c := 0; c < cycles; c++ {
+		for l := 0; l < levels; l++ { // restriction
+			b := fineBytes >> (2 * l)
+			r.Compute(b/10, b)
+			mgHalo(r, int(b>>6))
+		}
+		for l := levels - 1; l >= 0; l-- { // prolongation
+			b := fineBytes >> (2 * l)
+			r.Compute(b/10, b)
+			mgHalo(r, int(b>>6))
+		}
+	}
+}
+
+func mgHalo(r *mpi.Rank, bytes int) {
+	p := r.W.Size()
+	if p == 1 {
+		return
+	}
+	if bytes < 64 {
+		bytes = 64
+	}
+	up := (r.ID + 1) % p
+	down := (r.ID - 1 + p) % p
+	r.Sendrecv(up, bytes, down)
+	r.Sendrecv(down, bytes, up)
+}
+
+// FT is the 3D FFT kernel: compute-heavy local FFTs with a full all-to-all
+// transpose of the working set each iteration — the bandwidth-hungriest
+// pattern in the suite.
+func FT(r *mpi.Rank, scale float64) {
+	const iters = 3
+	p := r.W.Size()
+	gridBytes := scaled(scale, 128<<20) / int64(p)
+	for it := 0; it < iters; it++ {
+		// N log N flops over the local slab, streaming it ~3 times.
+		r.Compute(gridBytes*2, gridBytes*3)
+		if p > 1 {
+			r.Alltoall(int(gridBytes) / p)
+		}
+	}
+}
+
+// IS is the integer sort: bucket counting (memory-bound scans) with an
+// all-to-all key redistribution and a small reduction per iteration.
+func IS(r *mpi.Rank, scale float64) {
+	const iters = 5
+	p := r.W.Size()
+	keysBytes := scaled(scale, 64<<20) / int64(p)
+	for it := 0; it < iters; it++ {
+		r.Compute(keysBytes/16, keysBytes)
+		if p > 1 {
+			r.Alltoall(int(keysBytes) / p)
+			r.Allreduce(1 << 10)
+		}
+	}
+}
+
+// LU is the SSOR wavefront solver: many small pipelined messages to the
+// two wavefront neighbors per sweep with moderately memory-bound block
+// compute — latency-sensitive like CG but with more compute per byte.
+func LU(r *mpi.Rank, scale float64) {
+	const iters = 12
+	p := r.W.Size()
+	blockBytes := scaled(scale, 96<<20) / int64(p)
+	step := blockBytes / 4
+	for it := 0; it < iters; it++ {
+		for sweep := 0; sweep < 4; sweep++ {
+			// Pipeline: receive from the previous rank, compute, pass on.
+			if p > 1 && r.ID > 0 {
+				r.Recv(r.ID - 1)
+			}
+			r.Compute(step/2, step)
+			if p > 1 && r.ID < p-1 {
+				r.Send(r.ID+1, 2048)
+			}
+		}
+	}
+}
+
+// BT is the block-tridiagonal solver: three directional sweeps per
+// iteration, each pairing substantial face exchanges with dense 5x5 block
+// computation — the most flop-heavy kernel of the suite (~1 flop/byte).
+func BT(r *mpi.Rank, scale float64) {
+	const iters = 6
+	p := r.W.Size()
+	zoneBytes := scaled(scale, 72<<20) / int64(p)
+	for it := 0; it < iters; it++ {
+		for dir := 0; dir < 3; dir++ {
+			r.Compute(zoneBytes, zoneBytes)
+			if p > 1 {
+				up := (r.ID + dir + 1) % p
+				down := ((r.ID-dir-1)%p + p) % p
+				if up != r.ID {
+					r.Sendrecv(up, int(zoneBytes>>7), down)
+				}
+			}
+		}
+		if p > 1 {
+			r.Allreduce(5 * 8)
+		}
+	}
+}
+
+// SP is the scalar pentadiagonal solver: the same sweep structure as BT
+// with thinner per-point computation, making it distinctly more
+// memory-bound (~0.3 flops/byte).
+func SP(r *mpi.Rank, scale float64) {
+	const iters = 8
+	p := r.W.Size()
+	zoneBytes := scaled(scale, 72<<20) / int64(p)
+	for it := 0; it < iters; it++ {
+		for dir := 0; dir < 3; dir++ {
+			r.Compute(zoneBytes/3, zoneBytes)
+			if p > 1 {
+				up := (r.ID + dir + 1) % p
+				down := ((r.ID-dir-1)%p + p) % p
+				if up != r.ID {
+					r.Sendrecv(up, int(zoneBytes>>7), down)
+				}
+			}
+		}
+		if p > 1 {
+			r.Allreduce(5 * 8)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package npb
+
+import (
+	"testing"
+
+	"github.com/mcn-arch/mcn/internal/cluster"
+	"github.com/mcn-arch/mcn/internal/core"
+	"github.com/mcn-arch/mcn/internal/mpi"
+	"github.com/mcn-arch/mcn/internal/node"
+	"github.com/mcn-arch/mcn/internal/sim"
+)
+
+// runOn runs a kernel with p ranks on a scale-up node and returns the
+// elapsed simulated time.
+func runScaleUp(t *testing.T, name string, ranks int, scale float64) sim.Duration {
+	t.Helper()
+	k := sim.NewKernel()
+	h := cluster.NewScaleUp(k, ranks)
+	eps := make([]cluster.Endpoint, ranks)
+	for i := range eps {
+		eps[i] = cluster.Endpoint{Node: h.Node, IP: netstackLoopbackIP()}
+	}
+	w := mpi.Launch(k, eps, 7000, func(r *mpi.Rank) { Kernels[name](r, scale) })
+	k.RunUntil(sim.Time(120 * sim.Second))
+	if !w.Done() {
+		t.Fatalf("%s with %d ranks did not finish", name, ranks)
+	}
+	e := w.Elapsed()
+	k.Shutdown()
+	return e
+}
+
+func netstackLoopbackIP() (ip [4]byte) { return [4]byte{127, 0, 0, 1} }
+
+func TestAllKernelsCompleteOnScaleUp(t *testing.T) {
+	for _, name := range Names {
+		e := runScaleUp(t, name, 4, 0.1)
+		if e <= 0 {
+			t.Fatalf("%s elapsed %v", name, e)
+		}
+	}
+}
+
+func TestAllKernelsCompleteOnMcnServer(t *testing.T) {
+	for _, name := range Names {
+		k := sim.NewKernel()
+		s := cluster.NewMcnServer(k, 2, core.MCN3.Options())
+		// 4 host ranks won't fit nicely; use 1 rank on host + 1 per DIMM.
+		eps := s.Endpoints()
+		w := mpi.Launch(k, eps, 7000, func(r *mpi.Rank) { Kernels[name](r, 0.1) })
+		k.RunUntil(sim.Time(120 * sim.Second))
+		if !w.Done() {
+			t.Fatalf("%s on MCN server did not finish", name)
+		}
+		k.Shutdown()
+	}
+}
+
+func TestEPComputeBound(t *testing.T) {
+	// EP must scale with ranks: 8 ranks should be ~2x faster than 4 on a
+	// big enough node.
+	e4 := runScaleUp(t, "ep", 4, 0.3)
+	e8 := runScaleUp(t, "ep", 8, 0.3)
+	speedup := float64(e4) / float64(e8)
+	if speedup < 1.6 || speedup > 2.4 {
+		t.Fatalf("EP speedup 4->8 ranks = %.2f, want ~2", speedup)
+	}
+}
+
+func TestMGMemoryBoundOnScaleUp(t *testing.T) {
+	// MG is memory bound: doubling ranks on the same two channels should
+	// NOT double performance.
+	e4 := runScaleUp(t, "mg", 4, 0.3)
+	e8 := runScaleUp(t, "mg", 8, 0.3)
+	speedup := float64(e4) / float64(e8)
+	if speedup > 1.6 {
+		t.Fatalf("MG speedup 4->8 ranks = %.2f; memory wall missing", speedup)
+	}
+}
+
+func TestMcnDimmsGiveBandwidthScaling(t *testing.T) {
+	// The core Fig. 11 claim: a memory-bandwidth-bound kernel runs
+	// faster when the same rank count moves onto MCN DIMMs with private
+	// channels. A pure streaming kernel (grep-like) isolates the effect.
+	stream := func(r *mpi.Rank, scale float64) {
+		bytes := int64(scale * float64(640<<20) / float64(r.W.Size()))
+		r.Compute(bytes/16, bytes)
+		if r.W.Size() > 1 {
+			r.Reduce(0, 1<<10)
+		}
+	}
+	ranks := 4
+
+	// Scale-up: 4 ranks on one node, 2 shared channels.
+	k1 := sim.NewKernel()
+	h := cluster.NewScaleUp(k1, ranks)
+	eps1 := make([]cluster.Endpoint, ranks)
+	for i := range eps1 {
+		eps1[i] = cluster.Endpoint{Node: h.Node, IP: netstackLoopbackIP()}
+	}
+	w1 := mpi.Launch(k1, eps1, 7000, func(r *mpi.Rank) { stream(r, 0.3) })
+	k1.RunUntil(sim.Time(120 * sim.Second))
+	if !w1.Done() {
+		t.Fatal("stream on scale-up did not finish")
+	}
+	eUp := w1.Elapsed()
+	k1.Shutdown()
+
+	// MCN: 1 rank on the host + 3 ranks on 3 DIMMs (private channels).
+	k := sim.NewKernel()
+	s := cluster.NewMcnServer(k, 3, core.MCN3.Options())
+	eps := s.Endpoints()
+	w := mpi.Launch(k, eps, 7000, func(r *mpi.Rank) { stream(r, 0.3) })
+	k.RunUntil(sim.Time(120 * sim.Second))
+	if !w.Done() {
+		t.Fatal("stream on MCN server did not finish")
+	}
+	eMcn := w.Elapsed()
+	k.Shutdown()
+
+	if eMcn >= eUp {
+		t.Fatalf("stream: MCN server (%v) should beat scale-up (%v) via private channels", eMcn, eUp)
+	}
+	_ = node.McnConfig
+}

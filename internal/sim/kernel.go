@@ -1,0 +1,218 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Kernel is the discrete-event simulation engine. Create one with NewKernel,
+// start processes with Go, then call Run (or RunUntil / RunFor).
+//
+// The kernel and all processes cooperate through a strict handoff protocol:
+// at any instant exactly one goroutine — either the kernel's event loop or a
+// single process — is runnable. All simulation state may therefore be
+// accessed without locks.
+type Kernel struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+	yield  chan struct{}
+	live   map[*Proc]struct{}
+	inRun  bool
+	failed any // panic value propagated from a process
+}
+
+type event struct {
+	at     Time
+	seq    uint64
+	fn     func()
+	proc   *Proc
+	gen    uint64 // wait generation the wake targets (proc events only)
+	reason WakeReason
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// WakeReason tells a parked process why it resumed.
+type WakeReason int
+
+const (
+	// WakeDone is the normal wake reason (sleep elapsed, signal fired,
+	// resource granted).
+	WakeDone WakeReason = iota
+	// WakeTimeout indicates a timed wait expired before the awaited
+	// condition occurred.
+	WakeTimeout
+)
+
+// NewKernel returns an empty simulation at time zero.
+func NewKernel() *Kernel {
+	return &Kernel{
+		yield: make(chan struct{}),
+		live:  make(map[*Proc]struct{}),
+	}
+}
+
+// Now returns the current simulated time.
+func (k *Kernel) Now() Time { return k.now }
+
+// At schedules fn to run in kernel context at time t (clamped to now).
+func (k *Kernel) At(t Time, fn func()) {
+	if t < k.now {
+		t = k.now
+	}
+	k.push(&event{at: t, fn: fn})
+}
+
+// After schedules fn to run in kernel context after delay d.
+func (k *Kernel) After(d Duration, fn func()) { k.At(k.now.Add(d), fn) }
+
+func (k *Kernel) push(e *event) {
+	e.seq = k.seq
+	k.seq++
+	heap.Push(&k.events, e)
+}
+
+func (k *Kernel) scheduleWake(t Time, p *Proc, gen uint64, reason WakeReason) {
+	if t < k.now {
+		t = k.now
+	}
+	k.push(&event{at: t, proc: p, gen: gen, reason: reason})
+}
+
+// Run executes events until none remain, then returns the final simulated
+// time. Processes still blocked at that point stay parked; call Shutdown to
+// release their goroutines.
+func (k *Kernel) Run() Time { return k.RunUntil(MaxTime) }
+
+// RunFor runs the simulation for d more simulated time.
+func (k *Kernel) RunFor(d Duration) Time { return k.RunUntil(k.now.Add(d)) }
+
+// RunUntil executes events with timestamps <= limit and returns the
+// simulated time at which it stopped (limit, or earlier if the event queue
+// drained).
+func (k *Kernel) RunUntil(limit Time) Time {
+	if k.inRun {
+		panic("sim: nested Run")
+	}
+	k.inRun = true
+	defer func() { k.inRun = false }()
+	for len(k.events) > 0 {
+		e := k.events[0]
+		if e.at > limit {
+			k.now = limit
+			return k.now
+		}
+		heap.Pop(&k.events)
+		k.now = e.at
+		switch {
+		case e.proc != nil:
+			p := e.proc
+			if !p.waiting || p.waitGen != e.gen {
+				continue // stale wake (e.g. signal raced a timeout)
+			}
+			p.waiting = false
+			p.reason = e.reason
+			k.handoff(p)
+		case e.fn != nil:
+			e.fn()
+		}
+		if k.failed != nil {
+			panic(k.failed)
+		}
+	}
+	if k.now < limit && limit != MaxTime {
+		k.now = limit
+	}
+	return k.now
+}
+
+// handoff transfers control to p and blocks until p yields back.
+func (k *Kernel) handoff(p *Proc) {
+	p.resume <- wake{reason: p.reason}
+	<-k.yield
+}
+
+// Idle reports whether no events are pending.
+func (k *Kernel) Idle() bool { return len(k.events) == 0 }
+
+// LiveProcs returns the number of processes that have been created and not
+// yet finished.
+func (k *Kernel) LiveProcs() int { return len(k.live) }
+
+// Shutdown aborts every live process so its goroutine exits, and discards
+// all pending events. The kernel must not be running. It is safe to call
+// Shutdown more than once; after Shutdown the kernel must not be reused.
+func (k *Kernel) Shutdown() {
+	k.events = nil
+	for p := range k.live {
+		p.aborted = true
+		p.resume <- wake{aborted: true}
+		<-k.yield
+	}
+	if len(k.live) != 0 {
+		panic(fmt.Sprintf("sim: %d processes survived shutdown", len(k.live)))
+	}
+}
+
+// A Timer invokes a callback at a future simulated time unless stopped or
+// reset first.
+type Timer struct {
+	k       *Kernel
+	fn      func()
+	gen     uint64
+	pending bool
+	expires Time
+}
+
+// NewTimer returns a stopped timer that will call fn in kernel context when
+// it fires.
+func (k *Kernel) NewTimer(fn func()) *Timer { return &Timer{k: k, fn: fn} }
+
+// Reset (re)arms the timer to fire after d. Any previously scheduled firing
+// is cancelled.
+func (t *Timer) Reset(d Duration) {
+	t.gen++
+	t.pending = true
+	t.expires = t.k.now.Add(d)
+	gen := t.gen
+	t.k.At(t.expires, func() {
+		if !t.pending || t.gen != gen {
+			return
+		}
+		t.pending = false
+		t.fn()
+	})
+}
+
+// Stop cancels any pending firing. It reports whether a firing was pending.
+func (t *Timer) Stop() bool {
+	was := t.pending
+	t.pending = false
+	t.gen++
+	return was
+}
+
+// Pending reports whether the timer is armed.
+func (t *Timer) Pending() bool { return t.pending }
+
+// Expires returns the time the timer will fire if it is pending.
+func (t *Timer) Expires() Time { return t.expires }

@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// A Proc is a simulated sequential process: a goroutine whose execution is
+// interleaved deterministically with all other processes by the kernel. A
+// process runs until it blocks (Sleep, Signal.Wait, Resource.Acquire, ...)
+// and is resumed when the corresponding event fires.
+type Proc struct {
+	k       *Kernel
+	name    string
+	resume  chan wake
+	waiting bool
+	waitGen uint64
+	reason  WakeReason
+	aborted bool
+	done    bool
+}
+
+type wake struct {
+	reason  WakeReason
+	aborted bool
+}
+
+// procAbort is panicked inside an aborted process to unwind it; the wrapper
+// installed by Kernel.Go recovers it.
+type procAbort struct{}
+
+// Go creates a process named name running fn and schedules it to start at
+// the current simulated time. It may be called before Run or from within any
+// running process or event callback.
+func (k *Kernel) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{k: k, name: name, resume: make(chan wake)}
+	k.live[p] = struct{}{}
+	go func() {
+		w := <-p.resume
+		if !w.aborted {
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						if _, isAbort := r.(procAbort); !isAbort {
+							// Preserve the origin stack: the panic is
+							// re-raised from the kernel's Run loop,
+							// which would otherwise hide it.
+							k.failed = fmt.Sprintf("process %q panicked: %v\n%s", p.name, r, debug.Stack())
+						}
+					}
+				}()
+				fn(p)
+			}()
+		}
+		p.done = true
+		delete(k.live, p)
+		k.yield <- struct{}{}
+	}()
+	// The start is delivered like a wake so it obeys event ordering.
+	p.waiting = true
+	k.scheduleWake(k.now, p, p.waitGen, WakeDone)
+	return p
+}
+
+// Name returns the process name given to Go.
+func (p *Proc) Name() string { return p.name }
+
+// Kernel returns the kernel this process runs on.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current simulated time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// Done reports whether the process function has returned.
+func (p *Proc) Done() bool { return p.done }
+
+// prepareWait must be called before arming any wake source; it opens a new
+// wait generation so that stale wakes from previous waits are ignored.
+func (p *Proc) prepareWait() uint64 {
+	p.waitGen++
+	p.waiting = true
+	return p.waitGen
+}
+
+// park yields to the kernel and blocks until a wake for the current
+// generation arrives. It returns the reason supplied by the waker.
+func (p *Proc) park() WakeReason {
+	p.k.yield <- struct{}{}
+	w := <-p.resume
+	if w.aborted || p.aborted {
+		panic(procAbort{})
+	}
+	return w.reason
+}
+
+// Sleep suspends the process for d simulated time.
+func (p *Proc) Sleep(d Duration) {
+	if d <= 0 {
+		// Even a zero-length sleep yields, preserving event ordering
+		// relative to other work scheduled at the same instant.
+		d = 0
+	}
+	gen := p.prepareWait()
+	p.k.scheduleWake(p.k.now.Add(d), p, gen, WakeDone)
+	p.park()
+}
+
+// Yield lets every other event scheduled at the current instant run before
+// the process continues.
+func (p *Proc) Yield() { p.Sleep(0) }

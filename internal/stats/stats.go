@@ -1,0 +1,160 @@
+// Package stats provides lightweight measurement primitives for the
+// simulator: counters with time bounds (for throughput), histograms (for
+// latency distributions), and busy-time accumulators (for utilization and
+// energy accounting).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/mcn-arch/mcn/internal/sim"
+)
+
+// Counter accumulates a quantity (bytes, packets, ...) and remembers the
+// first and last accumulation times so a rate can be derived.
+type Counter struct {
+	Total int64
+	N     int64
+	first sim.Time
+	last  sim.Time
+	seen  bool
+}
+
+// Add accumulates v at time t.
+func (c *Counter) Add(t sim.Time, v int64) {
+	if !c.seen {
+		c.first = t
+		c.seen = true
+	}
+	c.last = t
+	c.Total += v
+	c.N++
+}
+
+// First returns the time of the first Add.
+func (c *Counter) First() sim.Time { return c.first }
+
+// Last returns the time of the most recent Add.
+func (c *Counter) Last() sim.Time { return c.last }
+
+// Rate returns Total divided by the observation span in seconds (units per
+// second). It returns 0 if fewer than two events were recorded.
+func (c *Counter) Rate() float64 {
+	span := c.last.Sub(c.first).Seconds()
+	if span <= 0 {
+		return 0
+	}
+	return float64(c.Total) / span
+}
+
+// RateOver returns Total divided by an externally supplied span.
+func (c *Counter) RateOver(span sim.Duration) float64 {
+	s := span.Seconds()
+	if s <= 0 {
+		return 0
+	}
+	return float64(c.Total) / s
+}
+
+// Histogram collects samples and reports order statistics. It stores raw
+// samples; simulations here collect at most a few hundred thousand.
+type Histogram struct {
+	samples []float64
+	sorted  bool
+	sum     float64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.samples = append(h.samples, v)
+	h.sorted = false
+	h.sum += v
+}
+
+// ObserveDuration records a duration sample in nanoseconds.
+func (h *Histogram) ObserveDuration(d sim.Duration) { h.Observe(d.Nanoseconds()) }
+
+// N returns the number of samples.
+func (h *Histogram) N() int { return len(h.samples) }
+
+// Mean returns the sample mean (0 with no samples).
+func (h *Histogram) Mean() float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	return h.sum / float64(len(h.samples))
+}
+
+// Min returns the smallest sample (0 with no samples).
+func (h *Histogram) Min() float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.ensureSorted()
+	return h.samples[0]
+}
+
+// Max returns the largest sample (0 with no samples).
+func (h *Histogram) Max() float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.ensureSorted()
+	return h.samples[len(h.samples)-1]
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) using nearest-rank.
+func (h *Histogram) Quantile(q float64) float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.ensureSorted()
+	idx := int(math.Ceil(q*float64(len(h.samples)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.samples) {
+		idx = len(h.samples) - 1
+	}
+	return h.samples[idx]
+}
+
+// Median returns the 0.5 quantile.
+func (h *Histogram) Median() float64 { return h.Quantile(0.5) }
+
+func (h *Histogram) ensureSorted() {
+	if !h.sorted {
+		sort.Float64s(h.samples)
+		h.sorted = true
+	}
+}
+
+// String summarizes the histogram.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%.3g p50=%.3g p99=%.3g max=%.3g",
+		h.N(), h.Mean(), h.Median(), h.Quantile(0.99), h.Max())
+}
+
+// BusyMeter accumulates intervals during which a component was active.
+// Overlapping Busy calls are additive (two cores busy for 1s = 2s busy
+// time), which is what energy integration wants.
+type BusyMeter struct {
+	Busy sim.Duration
+}
+
+// AddBusy records d of active time.
+func (b *BusyMeter) AddBusy(d sim.Duration) { b.Busy += d }
+
+// Energy returns busy*activePower + (span*units - busy)*idlePower, in
+// joules, where powers are in watts and span covers the full run.
+func (b *BusyMeter) Energy(span sim.Duration, units int, activeW, idleW float64) float64 {
+	busy := b.Busy.Seconds()
+	total := span.Seconds() * float64(units)
+	idle := total - busy
+	if idle < 0 {
+		idle = 0
+	}
+	return busy*activeW + idle*idleW
+}

@@ -1,0 +1,201 @@
+// Package trace is a tcpdump for the simulated network: attach a Recorder
+// to any stack and it captures and pretty-prints the frames crossing that
+// stack's devices — Ethernet, IPv4 (including fragments), ICMP, UDP and
+// TCP with flags/seq/ack the way tcpdump renders them. The paper's
+// proof-of-concept demo (Fig. 12) runs tcpdump on the NIOS II terminal;
+// examples/mpihello reproduces that with this package.
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/mcn-arch/mcn/internal/netstack"
+	"github.com/mcn-arch/mcn/internal/sim"
+)
+
+// Record is one captured frame.
+type Record struct {
+	At      sim.Time
+	Dir     string // "tx" or "rx"
+	Dev     string
+	Len     int
+	Summary string
+	// Raw holds the frame bytes when the recorder captures payloads.
+	Raw []byte
+}
+
+// Recorder captures frames up to a bounded count (old frames are kept,
+// new ones dropped once full, like a fixed-size capture buffer).
+type Recorder struct {
+	Max     int
+	Records []Record
+	Dropped int
+	// CaptureBytes keeps full frame contents so the capture can be
+	// exported with WritePcap.
+	CaptureBytes bool
+}
+
+// NewRecorder returns a recorder holding up to max frames (0 = 4096).
+func NewRecorder(max int) *Recorder {
+	if max <= 0 {
+		max = 4096
+	}
+	return &Recorder{Max: max}
+}
+
+// Packet implements netstack.PacketTap.
+func (r *Recorder) Packet(at sim.Time, dir, dev string, data []byte) {
+	if len(r.Records) >= r.Max {
+		r.Dropped++
+		return
+	}
+	rec := Record{
+		At: at, Dir: dir, Dev: dev, Len: len(data), Summary: Summarize(data),
+	}
+	if r.CaptureBytes {
+		rec.Raw = append([]byte(nil), data...)
+	}
+	r.Records = append(r.Records, rec)
+}
+
+// WritePcap exports the capture as a classic libpcap file (usec
+// resolution, LINKTYPE_ETHERNET) readable by tcpdump and Wireshark. The
+// recorder must have been created with CaptureBytes set.
+func (r *Recorder) WritePcap(w io.Writer) error {
+	hdr := make([]byte, 24)
+	binary.LittleEndian.PutUint32(hdr[0:4], 0xa1b2c3d4) // magic
+	binary.LittleEndian.PutUint16(hdr[4:6], 2)          // major
+	binary.LittleEndian.PutUint16(hdr[6:8], 4)          // minor
+	binary.LittleEndian.PutUint32(hdr[16:20], 1<<16)    // snaplen
+	binary.LittleEndian.PutUint32(hdr[20:24], 1)        // Ethernet
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	for _, rec := range r.Records {
+		if rec.Raw == nil {
+			return fmt.Errorf("trace: record has no raw bytes; set CaptureBytes before capturing")
+		}
+		ph := make([]byte, 16)
+		us := int64(rec.At) / int64(sim.Microsecond)
+		binary.LittleEndian.PutUint32(ph[0:4], uint32(us/1e6))
+		binary.LittleEndian.PutUint32(ph[4:8], uint32(us%1e6))
+		binary.LittleEndian.PutUint32(ph[8:12], uint32(len(rec.Raw)))
+		binary.LittleEndian.PutUint32(ph[12:16], uint32(len(rec.Raw)))
+		if _, err := w.Write(ph); err != nil {
+			return err
+		}
+		if _, err := w.Write(rec.Raw); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Dump renders the capture like a tcpdump session.
+func (r *Recorder) Dump() string {
+	var b strings.Builder
+	for _, rec := range r.Records {
+		fmt.Fprintf(&b, "%12v %s %-6s %s\n", rec.At, rec.Dir, rec.Dev, rec.Summary)
+	}
+	if r.Dropped > 0 {
+		fmt.Fprintf(&b, "... %d frames dropped by the capture buffer\n", r.Dropped)
+	}
+	return b.String()
+}
+
+// Summarize renders one frame as a tcpdump-style line.
+func Summarize(frame []byte) string {
+	eth, ok := netstack.ParseEth(frame)
+	if !ok {
+		return fmt.Sprintf("malformed frame, %d bytes", len(frame))
+	}
+	if eth.Type == netstack.EtherTypeARP {
+		if a, ok2 := netstack.ParseARP(frame[netstack.EthHeaderBytes:]); ok2 {
+			if a.Op == netstack.ARPRequest {
+				return fmt.Sprintf("ARP, Request who-has %v tell %v", a.TargetIP, a.SenderIP)
+			}
+			return fmt.Sprintf("ARP, Reply %v is-at %v", a.SenderIP, a.SenderMAC)
+		}
+		return "malformed ARP"
+	}
+	if eth.Type != netstack.EtherTypeIPv4 {
+		return fmt.Sprintf("non-IP frame (type %#04x), %d bytes", eth.Type, len(frame))
+	}
+	ip, ok := netstack.ParseIPv4(frame[netstack.EthHeaderBytes:])
+	if !ok {
+		return "malformed IPv4"
+	}
+	body := frame[netstack.EthHeaderBytes:]
+	if int(ip.TotalLen) <= len(body) {
+		body = body[:ip.TotalLen]
+	}
+	payload := body[netstack.IPv4HeaderBytes:]
+	if ip.FragOff > 0 || ip.MF {
+		return fmt.Sprintf("IP %v > %v: frag id %d offset %d%s, length %d",
+			ip.Src, ip.Dst, ip.ID, ip.FragOff, mfTag(ip.MF), len(payload))
+	}
+	switch ip.Proto {
+	case netstack.ProtoICMP:
+		m, ok := netstack.ParseICMPEcho(payload)
+		if !ok {
+			return fmt.Sprintf("IP %v > %v: ICMP, length %d", ip.Src, ip.Dst, len(payload))
+		}
+		kind := "echo request"
+		if m.Type == netstack.ICMPEchoReply {
+			kind = "echo reply"
+		}
+		return fmt.Sprintf("IP %v > %v: ICMP %s, id %d, seq %d, length %d",
+			ip.Src, ip.Dst, kind, m.ID, m.Seq, len(payload))
+	case netstack.ProtoUDP:
+		u, ok := netstack.ParseUDP(payload)
+		if !ok {
+			return fmt.Sprintf("IP %v > %v: UDP, length %d", ip.Src, ip.Dst, len(payload))
+		}
+		return fmt.Sprintf("IP %v.%d > %v.%d: UDP, length %d",
+			ip.Src, u.SrcPort, ip.Dst, u.DstPort, int(u.Len)-netstack.UDPHeaderBytes)
+	case netstack.ProtoTCP:
+		th, ok := netstack.ParseTCP(payload)
+		if !ok {
+			return fmt.Sprintf("IP %v > %v: TCP, length %d", ip.Src, ip.Dst, len(payload))
+		}
+		dataLen := len(payload) - netstack.TCPHeaderBytes
+		return fmt.Sprintf("IP %v.%d > %v.%d: Flags [%s], seq %d, ack %d, win %d, length %d",
+			ip.Src, th.SrcPort, ip.Dst, th.DstPort, tcpFlags(th.Flags), th.Seq, th.Ack, th.Window, dataLen)
+	default:
+		return fmt.Sprintf("IP %v > %v: proto %d, length %d", ip.Src, ip.Dst, ip.Proto, len(payload))
+	}
+}
+
+func mfTag(mf bool) string {
+	if mf {
+		return "+"
+	}
+	return ""
+}
+
+// tcpFlags renders flags in tcpdump's compact notation.
+func tcpFlags(f uint8) string {
+	var b strings.Builder
+	if f&netstack.TCPSyn != 0 {
+		b.WriteByte('S')
+	}
+	if f&netstack.TCPFin != 0 {
+		b.WriteByte('F')
+	}
+	if f&netstack.TCPRst != 0 {
+		b.WriteByte('R')
+	}
+	if f&netstack.TCPPsh != 0 {
+		b.WriteByte('P')
+	}
+	if f&netstack.TCPAck != 0 {
+		b.WriteByte('.')
+	}
+	if b.Len() == 0 {
+		return "none"
+	}
+	return b.String()
+}

@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/mcn-arch/mcn/internal/cluster"
+	"github.com/mcn-arch/mcn/internal/core"
+	"github.com/mcn-arch/mcn/internal/netstack"
+	"github.com/mcn-arch/mcn/internal/sim"
+)
+
+func TestCaptureOverMcn(t *testing.T) {
+	k := sim.NewKernel()
+	s := cluster.NewMcnServer(k, 1, core.MCN0.Options())
+	rec := NewRecorder(256)
+	s.Mcns[0].Stack.Tap = rec
+	k.Go("ping", func(p *sim.Proc) {
+		if _, ok := s.Host.Stack.Ping(p, s.Mcns[0].IP, 56, sim.Second); !ok {
+			panic("ping lost")
+		}
+	})
+	k.RunUntil(sim.Time(10 * sim.Millisecond))
+	dump := rec.Dump()
+	if !strings.Contains(dump, "echo request") || !strings.Contains(dump, "echo reply") {
+		t.Fatalf("capture missing ICMP lines:\n%s", dump)
+	}
+	if !strings.Contains(dump, "mcn0") {
+		t.Fatalf("capture missing device names:\n%s", dump)
+	}
+	k.Shutdown()
+}
+
+func TestCaptureTCPFlags(t *testing.T) {
+	k := sim.NewKernel()
+	s := cluster.NewMcnServer(k, 1, core.MCN0.Options())
+	rec := NewRecorder(512)
+	s.Host.Stack.Tap = rec
+	k.Go("server", func(p *sim.Proc) {
+		l, _ := s.Mcns[0].Stack.Listen(5001)
+		c, _ := l.Accept(p)
+		c.RecvN(p, 3000)
+	})
+	k.Go("client", func(p *sim.Proc) {
+		c, err := s.Host.Stack.Connect(p, s.Mcns[0].IP, 5001)
+		if err != nil {
+			panic(err)
+		}
+		c.SendN(p, 3000)
+		c.Close(p)
+	})
+	k.RunUntil(sim.Time(50 * sim.Millisecond))
+	dump := rec.Dump()
+	for _, want := range []string{"Flags [S]", "Flags [P.]", "Flags [F.]"} {
+		if !strings.Contains(dump, want) {
+			t.Fatalf("capture missing %q:\n%s", want, dump)
+		}
+	}
+	k.Shutdown()
+}
+
+func TestRecorderBounded(t *testing.T) {
+	rec := NewRecorder(2)
+	frame := make([]byte, netstack.EthHeaderBytes)
+	for i := 0; i < 5; i++ {
+		rec.Packet(0, "tx", "eth0", frame)
+	}
+	if len(rec.Records) != 2 || rec.Dropped != 3 {
+		t.Fatalf("records=%d dropped=%d", len(rec.Records), rec.Dropped)
+	}
+	if !strings.Contains(rec.Dump(), "3 frames dropped") {
+		t.Fatal("dump should mention dropped frames")
+	}
+}
+
+func TestSummarizeFragment(t *testing.T) {
+	frame := make([]byte, netstack.EthHeaderBytes+netstack.IPv4HeaderBytes+100)
+	netstack.PutEth(frame, netstack.EthHeader{Type: netstack.EtherTypeIPv4})
+	netstack.PutIPv4(frame[netstack.EthHeaderBytes:], netstack.IPv4Header{
+		TotalLen: netstack.IPv4HeaderBytes + 100, ID: 7, TTL: 64,
+		Proto: netstack.ProtoUDP, Src: netstack.IPv4(1, 1, 1, 1), Dst: netstack.IPv4(2, 2, 2, 2),
+		MF: true, FragOff: 1480,
+	})
+	s := Summarize(frame)
+	if !strings.Contains(s, "frag id 7 offset 1480+") {
+		t.Fatalf("fragment summary %q", s)
+	}
+}

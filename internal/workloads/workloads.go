@@ -1,0 +1,210 @@
+// Package workloads provides the non-NPB benchmark generators of the
+// paper's evaluation: iperf (Fig. 8(a)), CORAL-like kernels (amg, lulesh)
+// and BigDataBench-like shuffle kernels (sort, wordcount, grep) for
+// Figs. 9 and 10. The CORAL/BigDataBench entries share the npb KernelFunc
+// signature so the experiment harness can run one suite uniformly.
+package workloads
+
+import (
+	"github.com/mcn-arch/mcn/internal/cluster"
+	"github.com/mcn-arch/mcn/internal/mpi"
+	"github.com/mcn-arch/mcn/internal/netstack"
+	"github.com/mcn-arch/mcn/internal/npb"
+	"github.com/mcn-arch/mcn/internal/sim"
+)
+
+// Suite is the full Fig. 9 / Fig. 10 workload list: NPB + CORAL-like +
+// BigDataBench-like.
+var Suite = map[string]npb.KernelFunc{
+	"bt":        npb.BT,
+	"cg":        npb.CG,
+	"ep":        npb.EP,
+	"ft":        npb.FT,
+	"is":        npb.IS,
+	"lu":        npb.LU,
+	"mg":        npb.MG,
+	"sp":        npb.SP,
+	"amg":       AMG,
+	"lulesh":    LULESH,
+	"sort":      Sort,
+	"wordcount": WordCount,
+	"grep":      Grep,
+}
+
+// SuiteNames lists the suite in plotting order.
+var SuiteNames = []string{"bt", "cg", "ep", "ft", "is", "lu", "mg", "sp", "amg", "lulesh", "sort", "wordcount", "grep"}
+
+func scaled(scale float64, v int64) int64 { return int64(scale * float64(v)) }
+
+// AMG mimics CORAL AMG: an extremely memory-bound algebraic multigrid
+// solve with neighbor exchanges and frequent small reductions.
+func AMG(r *mpi.Rank, scale float64) {
+	const iters = 8
+	p := r.W.Size()
+	bytes := scaled(scale, 200<<20) / int64(p)
+	for it := 0; it < iters; it++ {
+		r.Compute(bytes/20, bytes) // ~0.05 flops/byte
+		if p > 1 {
+			up, down := (r.ID+1)%p, (r.ID-1+p)%p
+			r.Sendrecv(up, int(bytes>>8), down)
+			r.Allreduce(8)
+		}
+	}
+}
+
+// LULESH mimics CORAL LULESH: compute-dominated hydrodynamics with 26-ish
+// neighbor halo exchanges per step; moderate memory intensity.
+func LULESH(r *mpi.Rank, scale float64) {
+	const steps = 6
+	p := r.W.Size()
+	bytes := scaled(scale, 48<<20) / int64(p)
+	for s := 0; s < steps; s++ {
+		r.Compute(bytes*3, bytes) // 3 flops/byte: near compute bound
+		if p > 1 {
+			for hop := 1; hop <= 3; hop++ {
+				up, down := (r.ID+hop)%p, (r.ID-hop+p)%p
+				if up != r.ID {
+					r.Sendrecv(up, int(bytes>>10), down)
+				}
+			}
+			r.Allreduce(8)
+		}
+	}
+}
+
+// Sort mimics BigDataBench sort: scan the local partition, shuffle
+// everything all-to-all, then a merge pass — shuffle-bandwidth bound.
+func Sort(r *mpi.Rank, scale float64) {
+	p := r.W.Size()
+	bytes := scaled(scale, 48<<20) / int64(p)
+	r.Compute(bytes/8, bytes) // partition scan
+	if p > 1 {
+		r.Alltoall(int(bytes) / p) // full shuffle
+	}
+	r.Compute(bytes/8, bytes) // merge
+}
+
+// WordCount mimics BigDataBench wordcount: a map phase scanning the input
+// with light compute, then a small aggregation shuffle and reduce.
+func WordCount(r *mpi.Rank, scale float64) {
+	p := r.W.Size()
+	bytes := scaled(scale, 96<<20) / int64(p)
+	r.Compute(bytes/4, bytes) // tokenizing scan
+	if p > 1 {
+		r.Alltoall(int(bytes) / (64 * p)) // compact word counts
+		r.Reduce(0, 64<<10)
+	}
+}
+
+// Grep mimics BigDataBench grep: a pure streaming scan with a tiny result
+// gather — the most bandwidth-bound of the three.
+func Grep(r *mpi.Rank, scale float64) {
+	p := r.W.Size()
+	bytes := scaled(scale, 160<<20) / int64(p)
+	r.Compute(bytes/16, bytes)
+	if p > 1 {
+		r.Reduce(0, 16<<10)
+	}
+}
+
+// IperfResult reports one iperf run.
+type IperfResult struct {
+	// GoodputBps is the aggregate application-level receive rate at the
+	// server over the measurement window, in bytes per second.
+	GoodputBps float64
+	// PerClient holds each connection's goodput.
+	PerClient []float64
+}
+
+// Iperf runs one iperf server and one client per clients entry for the
+// given duration (after warmup) and returns the aggregate goodput measured
+// at the server. The caller owns the kernel and must not have other load
+// on the chosen port.
+func Iperf(k *sim.Kernel, server cluster.Endpoint, clients []cluster.Endpoint, port uint16, warmup, dur sim.Duration) *IperfResult {
+	res := &IperfResult{PerClient: make([]float64, len(clients))}
+	type counter struct {
+		bytes int64
+	}
+	counters := make([]*counter, len(clients))
+	for i := range counters {
+		counters[i] = &counter{}
+	}
+	measStart := k.Now().Add(warmup)
+	measEnd := k.Now().Add(warmup + dur)
+
+	k.Go("iperf/server", func(p *sim.Proc) {
+		l, err := server.Node.Stack.Listen(port)
+		if err != nil {
+			panic(err)
+		}
+		for i := 0; i < len(clients); i++ {
+			c, err := l.Accept(p)
+			if err != nil {
+				return
+			}
+			idx := i
+			k.Go("iperf/sink", func(sp *sim.Proc) {
+				buf := make([]byte, 64<<10)
+				for {
+					n, ok := c.Recv(sp, buf)
+					now := sp.Now()
+					if now >= measStart && now <= measEnd {
+						counters[idx].bytes += int64(n)
+					}
+					if !ok || now > measEnd {
+						return
+					}
+				}
+			})
+		}
+	})
+	for i, cl := range clients {
+		cl := cl
+		i := i
+		k.Go("iperf/client", func(p *sim.Proc) {
+			conn, err := cl.Node.Stack.Connect(p, server.IP, port)
+			if err != nil {
+				panic(err)
+			}
+			chunk := make([]byte, 128<<10)
+			for p.Now() < measEnd {
+				if err := conn.Send(p, chunk); err != nil {
+					return
+				}
+			}
+			conn.Close(p)
+			_ = i
+		})
+	}
+	k.At(measEnd.Add(sim.Millisecond), func() {
+		var total int64
+		for i, c := range counters {
+			res.PerClient[i] = float64(c.bytes) / dur.Seconds()
+			total += c.bytes
+		}
+		res.GoodputBps = float64(total) / dur.Seconds()
+	})
+	return res
+}
+
+// PingSweep measures host->target round-trip times for each payload size.
+func PingSweep(k *sim.Kernel, from cluster.Endpoint, to netstack.IP, sizes []int, perSize int) map[int]sim.Duration {
+	out := make(map[int]sim.Duration, len(sizes))
+	k.Go("pingsweep", func(p *sim.Proc) {
+		for _, sz := range sizes {
+			var sum sim.Duration
+			n := 0
+			for i := 0; i < perSize; i++ {
+				rtt, ok := from.Node.Stack.Ping(p, to, sz, sim.Second)
+				if ok {
+					sum += rtt
+					n++
+				}
+			}
+			if n > 0 {
+				out[sz] = sum / sim.Duration(n)
+			}
+		}
+	})
+	return out
+}

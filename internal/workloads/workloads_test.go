@@ -1,0 +1,85 @@
+package workloads
+
+import (
+	"testing"
+
+	"github.com/mcn-arch/mcn/internal/cluster"
+	"github.com/mcn-arch/mcn/internal/core"
+	"github.com/mcn-arch/mcn/internal/mpi"
+	"github.com/mcn-arch/mcn/internal/node"
+	"github.com/mcn-arch/mcn/internal/sim"
+)
+
+func TestSuiteCompletesOnEthCluster(t *testing.T) {
+	for _, name := range []string{"amg", "lulesh", "sort", "wordcount", "grep"} {
+		k := sim.NewKernel()
+		c := cluster.NewEthCluster(k, 3, node.HostConfig(""))
+		fn := Suite[name]
+		w := mpi.Launch(k, c.Endpoints(), 7000, func(r *mpi.Rank) { fn(r, 0.1) })
+		k.RunUntil(sim.Time(120 * sim.Second))
+		if !w.Done() {
+			t.Fatalf("%s did not finish on the ethernet cluster", name)
+		}
+		if w.Elapsed() <= 0 {
+			t.Fatalf("%s elapsed %v", name, w.Elapsed())
+		}
+		k.Shutdown()
+	}
+}
+
+func TestSuiteRegistryComplete(t *testing.T) {
+	if len(SuiteNames) != len(Suite) {
+		t.Fatalf("SuiteNames has %d entries, Suite has %d", len(SuiteNames), len(Suite))
+	}
+	for _, n := range SuiteNames {
+		if Suite[n] == nil {
+			t.Fatalf("suite entry %q missing", n)
+		}
+	}
+}
+
+func TestIperfOverMcn(t *testing.T) {
+	k := sim.NewKernel()
+	s := cluster.NewMcnServer(k, 4, core.MCN0.Options())
+	server := cluster.Endpoint{Node: s.Host.Node, IP: s.Host.HostMcnIP()}
+	res := Iperf(k, server, s.McnEndpoints(), 5001, sim.Millisecond, 4*sim.Millisecond)
+	k.RunUntil(sim.Time(20 * sim.Millisecond))
+	if res.GoodputBps < 0.5e9 {
+		t.Fatalf("MCN iperf aggregate %.3g B/s implausibly low", res.GoodputBps)
+	}
+	for i, pc := range res.PerClient {
+		if pc == 0 {
+			t.Fatalf("client %d moved no data", i)
+		}
+	}
+	k.Shutdown()
+}
+
+func TestIperfOver10GbE(t *testing.T) {
+	k := sim.NewKernel()
+	c := cluster.NewEthCluster(k, 2, node.HostConfig(""))
+	eps := c.Endpoints()
+	res := Iperf(k, eps[0], eps[1:], 5001, sim.Millisecond, 4*sim.Millisecond)
+	k.RunUntil(sim.Time(20 * sim.Millisecond))
+	// One 10G stream: bounded by line rate, should be near it.
+	if res.GoodputBps < 0.5e9 || res.GoodputBps > 1.25e9 {
+		t.Fatalf("10GbE iperf %.3g B/s out of range", res.GoodputBps)
+	}
+	k.Shutdown()
+}
+
+func TestPingSweepMonotone(t *testing.T) {
+	k := sim.NewKernel()
+	s := cluster.NewMcnServer(k, 1, core.MCN0.Options())
+	from := cluster.Endpoint{Node: s.Host.Node, IP: s.Host.HostMcnIP()}
+	sizes := []int{16, 1024, 8192}
+	res := PingSweep(k, from, s.Mcns[0].IP, sizes, 3)
+	k.RunUntil(sim.Time(sim.Second))
+	if len(res) != 3 {
+		t.Fatalf("sweep returned %d sizes", len(res))
+	}
+	if !(res[16] < res[8192]) {
+		t.Fatalf("rtt should grow with payload: %v", res)
+	}
+	k.Shutdown()
+}

@@ -1,0 +1,279 @@
+// Package mcn is the public API of the Memory Channel Network (MCN)
+// simulator, a full reimplementation of "Application-Transparent
+// Near-Memory Processing Architecture with Memory Channel Network"
+// (MICRO 2018).
+//
+// The package re-exports the stable surface of the internal packages:
+//
+//   - the deterministic simulation kernel (NewKernel, Proc, Time),
+//   - topology builders (NewMcnServer, NewEthCluster, NewScaleUp,
+//     NewContutto),
+//   - the MCN optimization levels mcn0..mcn5 (Table I of the paper),
+//   - a mini-MPI (LaunchMPI) plus the NPB/CORAL/BigDataBench workload
+//     suite, and
+//   - one generator per table and figure of the paper's evaluation
+//     (Fig8a, Fig8b, Fig8c, Table3, Fig9, Fig10, Fig11, Headline).
+//
+// A minimal session:
+//
+//	k := mcn.NewKernel()
+//	s := mcn.NewMcnServer(k, 8, mcn.MCN5.Options())
+//	res := mcn.Iperf(k, s.Endpoints()[0], s.McnEndpoints()[:4], 5201,
+//	    mcn.Millisecond, 4*mcn.Millisecond)
+//	k.RunFor(10 * mcn.Millisecond)
+//	fmt.Printf("aggregate goodput: %.2f Gbps\n", res.GoodputBps*8/1e9)
+package mcn
+
+import (
+	"github.com/mcn-arch/mcn/internal/cluster"
+	"github.com/mcn-arch/mcn/internal/contutto"
+	"github.com/mcn-arch/mcn/internal/core"
+	"github.com/mcn-arch/mcn/internal/energy"
+	"github.com/mcn-arch/mcn/internal/exp"
+	"github.com/mcn-arch/mcn/internal/kvstore"
+	"github.com/mcn-arch/mcn/internal/mapreduce"
+	"github.com/mcn-arch/mcn/internal/mcnfast"
+	"github.com/mcn-arch/mcn/internal/mpi"
+	"github.com/mcn-arch/mcn/internal/netstack"
+	"github.com/mcn-arch/mcn/internal/node"
+	"github.com/mcn-arch/mcn/internal/npb"
+	"github.com/mcn-arch/mcn/internal/sim"
+	"github.com/mcn-arch/mcn/internal/trace"
+	"github.com/mcn-arch/mcn/internal/workloads"
+)
+
+// Simulation kernel.
+type (
+	// Kernel is the discrete-event simulation engine.
+	Kernel = sim.Kernel
+	// Proc is a simulated process.
+	Proc = sim.Proc
+	// Time is an absolute simulated timestamp (picoseconds).
+	Time = sim.Time
+	// Duration is a span of simulated time (picoseconds).
+	Duration = sim.Duration
+)
+
+// Duration units.
+const (
+	Picosecond  = sim.Picosecond
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// NewKernel returns an empty simulation at time zero.
+func NewKernel() *Kernel { return sim.NewKernel() }
+
+// MCN architecture (the paper's contribution).
+type (
+	// OptLevel is one of the cumulative optimization levels of Table I.
+	OptLevel = core.OptLevel
+	// Options are the individually toggleable MCN mechanisms.
+	Options = core.Options
+	// McnServer is a host with N MCN DIMMs.
+	McnServer = cluster.McnServer
+	// EthCluster is a conventional 10GbE scale-out cluster.
+	EthCluster = cluster.EthCluster
+	// Endpoint is a place a workload process can run.
+	Endpoint = cluster.Endpoint
+	// Host is a server node (with optional MCN driver and NIC).
+	Host = node.Host
+	// McnNode is the compute side of one MCN DIMM.
+	McnNode = node.McnNode
+	// NodeConfig describes one machine's resources (Table II defaults).
+	NodeConfig = node.Config
+	// McnRack is several MCN servers behind one top-of-rack switch; MCN
+	// nodes on different hosts communicate through the hosts' NICs.
+	McnRack = cluster.McnRack
+	// Prototype is the POWER8 + ConTutto proof-of-concept system.
+	Prototype = contutto.Prototype
+	// IP is an IPv4 address.
+	IP = netstack.IP
+)
+
+// Optimization levels (Table I).
+const (
+	MCN0 = core.MCN0 // HR-timer polling baseline
+	MCN1 = core.MCN1 // + ALERT_N DIMM interrupt
+	MCN2 = core.MCN2 // + checksum bypass
+	MCN3 = core.MCN3 // + 9KB MTU
+	MCN4 = core.MCN4 // + TSO
+	MCN5 = core.MCN5 // + MCN-DMA
+)
+
+// OptLevels lists all levels in order.
+func OptLevels() []OptLevel { return core.Levels() }
+
+// NewMcnServer builds an MCN-enabled server with nDimms MCN DIMMs.
+func NewMcnServer(k *Kernel, nDimms int, opts Options) *McnServer {
+	return cluster.NewMcnServer(k, nDimms, opts)
+}
+
+// NewEthCluster builds a 10GbE scale-out cluster of n Table II nodes.
+func NewEthCluster(k *Kernel, n int) *EthCluster {
+	return cluster.NewEthCluster(k, n, node.HostConfig(""))
+}
+
+// NewScaleUp builds a single server with the given core count.
+func NewScaleUp(k *Kernel, cores int) *Host { return cluster.NewScaleUp(k, cores) }
+
+// NewMcnRack builds nServers MCN servers (dimmsPer DIMMs each) behind one
+// top-of-rack switch (the Sec. III-B / Sec. VII multi-host scenario).
+func NewMcnRack(k *Kernel, nServers, dimmsPer int, opts Options) *McnRack {
+	return cluster.NewMcnRack(k, nServers, dimmsPer, opts)
+}
+
+// NewContutto builds the FPGA proof-of-concept prototype (Sec. V).
+func NewContutto(k *Kernel) *Prototype { return contutto.New(k) }
+
+// HostConfig returns the Table II host configuration.
+func HostConfig(name string) NodeConfig { return node.HostConfig(name) }
+
+// McnConfig returns the Table II MCN processor configuration.
+func McnConfig(name string) NodeConfig { return node.McnConfig(name) }
+
+// Distributed computing.
+type (
+	// World is one MPI job.
+	World = mpi.World
+	// Rank is one MPI process.
+	Rank = mpi.Rank
+	// Program is the per-rank body of an MPI job.
+	Program = mpi.Program
+	// KernelFunc is a workload body (NPB / CORAL / BigDataBench).
+	KernelFunc = npb.KernelFunc
+)
+
+// LaunchMPI starts an MPI job with one rank per endpoint.
+func LaunchMPI(k *Kernel, eps []Endpoint, basePort uint16, prog Program) *World {
+	return mpi.Launch(k, eps, basePort, prog)
+}
+
+// NPBKernels maps NPB kernel names (cg, ep, ft, is, lu, mg) to bodies.
+func NPBKernels() map[string]KernelFunc { return npb.Kernels }
+
+// WorkloadSuite returns the full Fig. 9/10 workload suite (NPB + amg,
+// lulesh, sort, wordcount, grep).
+func WorkloadSuite() map[string]KernelFunc { return workloads.Suite }
+
+// WorkloadNames lists the suite in the paper's plotting order.
+func WorkloadNames() []string { return workloads.SuiteNames }
+
+// Traffic tools.
+type IperfResult = workloads.IperfResult
+
+// Iperf runs an iperf server plus one client per endpoint; see
+// workloads.Iperf.
+func Iperf(k *Kernel, server Endpoint, clients []Endpoint, port uint16, warmup, dur Duration) *IperfResult {
+	return workloads.Iperf(k, server, clients, port, warmup, dur)
+}
+
+// PingSweep measures round-trip times for each payload size.
+func PingSweep(k *Kernel, from Endpoint, to IP, sizes []int, perSize int) map[int]Duration {
+	return workloads.PingSweep(k, from, to, sizes, perSize)
+}
+
+// MapReduce: a small Hadoop-style framework over the simulated network.
+type (
+	// MapReduceJob describes one MapReduce computation.
+	MapReduceJob = mapreduce.Job
+	// MapReduceKV is one emitted key/value pair.
+	MapReduceKV = mapreduce.KV
+)
+
+// RunMapReduce executes a job on an MPI world (rank 0 drives, the rest
+// map and reduce); it returns the merged result on rank 0.
+func RunMapReduce(r *Rank, job MapReduceJob) map[string]string {
+	return mapreduce.Run(r, job)
+}
+
+// FastEndpoint is one side of the Sec. VII specialized transport: a
+// credit-flow-controlled message channel over the SRAM rings that bypasses
+// TCP/IP entirely.
+type FastEndpoint = mcnfast.Endpoint
+
+// OpenFastChannel connects the host and one MCN node with the specialized
+// transport, returning (host endpoint, MCN endpoint).
+func OpenFastChannel(k *Kernel, h *Host, m *McnNode) (*FastEndpoint, *FastEndpoint) {
+	return mcnfast.Pair(k, h, m)
+}
+
+// Key/value store: a memcached-class service for near-memory caching.
+type (
+	// KVServer is a key/value store bound to one node.
+	KVServer = kvstore.Server
+	// KVClient is one connection to a KVServer.
+	KVClient = kvstore.Client
+)
+
+// NewKVServer starts a key/value server on ep.
+func NewKVServer(k *Kernel, ep Endpoint, port uint16) *KVServer {
+	return kvstore.NewServer(k, ep, port)
+}
+
+// DialKV connects a client from ep to the server at addr:port.
+func DialKV(p *Proc, ep Endpoint, addr IP, port uint16) (*KVClient, error) {
+	return kvstore.Dial(p, ep, addr, port)
+}
+
+// Tracer is a tcpdump-style packet capture; attach one to any node with
+// ep.Node.Stack.Tap = tracer, run the simulation, then print
+// tracer.Dump().
+type Tracer = trace.Recorder
+
+// NewTracer returns a capture buffer holding up to max frames (0 = 4096).
+func NewTracer(max int) *Tracer { return trace.NewRecorder(max) }
+
+// Energy accounting.
+type PowerTable = energy.Power
+
+// DefaultPower returns the calibrated component power table.
+func DefaultPower() PowerTable { return energy.Default() }
+
+// Experiments (one per table/figure of the paper).
+type (
+	Fig8aResult      = exp.Fig8aResult
+	Fig8Latency      = exp.Fig8Latency
+	Table3Result     = exp.Table3Result
+	Fig9Result       = exp.Fig9Result
+	Fig10Result      = exp.Fig10Result
+	Fig11Result      = exp.Fig11Result
+	HeadlineResult   = exp.HeadlineResult
+	DiscussionResult = exp.DiscussionResult
+	// Scale trades working-set size for run time in Figs. 9-11.
+	Scale = exp.Scale
+)
+
+// QuickScale is a small working-set multiplier suitable for smoke runs.
+const QuickScale = exp.QuickScale
+
+// Fig8a regenerates Fig. 8(a): iperf bandwidth, mcn0..mcn5, normalized to
+// 10GbE.
+func Fig8a() *Fig8aResult { return exp.Fig8a() }
+
+// Fig8b regenerates Fig. 8(b): host-to-MCN ping RTT across payload sizes.
+func Fig8b() *Fig8Latency { return exp.Fig8b() }
+
+// Fig8c regenerates Fig. 8(c): MCN-to-MCN ping RTT across payload sizes.
+func Fig8c() *Fig8Latency { return exp.Fig8c() }
+
+// Table3 regenerates Table III: single-packet latency breakdowns.
+func Table3() *Table3Result { return exp.Table3() }
+
+// Fig9 regenerates Fig. 9: aggregate memory bandwidth utilization.
+func Fig9(names []string, scale Scale) *Fig9Result { return exp.Fig9(names, scale) }
+
+// Fig10 regenerates Fig. 10: energy vs equal-core scale-out clusters.
+func Fig10(names []string, scale Scale) *Fig10Result { return exp.Fig10(names, scale) }
+
+// Fig11 regenerates Fig. 11: NPB execution time, scale-up vs MCN.
+func Fig11(kernels []string, scale Scale) *Fig11Result { return exp.Fig11(kernels, scale) }
+
+// Headline computes the abstract's summary numbers.
+func Headline(names []string, scale Scale) *HeadlineResult { return exp.Headline(names, scale) }
+
+// Discussion quantifies Sec. VII: TCP's ACK overhead on MCN and the gains
+// of the specialized (TCP-bypassing) transport.
+func Discussion() *DiscussionResult { return exp.Discussion() }
