@@ -1,0 +1,17 @@
+GO ?= go
+
+.PHONY: build test check test-short
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) build ./... && $(GO) test ./...
+
+# Full gate: build + vet + race-enabled tests (see scripts/check.sh).
+check:
+	./scripts/check.sh
+
+# Same gate with the long integration runs (chaos, NPB classes) trimmed.
+test-short:
+	./scripts/check.sh -short

@@ -18,11 +18,12 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "", "which figure/table to regenerate: 8a, 8b, 8c, t3, 9, 10, 11, all")
+	fig := flag.String("fig", "", "which figure/table to regenerate: 8a, 8b, 8c, t3, 9, 10, 11, faults, all")
 	headline := flag.Bool("headline", false, "compute the abstract's headline numbers")
 	discussion := flag.Bool("discussion", false, "run the Sec. VII TCP-overhead / fast-transport comparison")
 	scale := flag.Float64("scale", float64(mcn.QuickScale), "working-set multiplier for figs 9-11")
 	workloadList := flag.String("workloads", "", "comma-separated workload subset (default: full suite)")
+	seed := flag.Uint64("seed", 42, "fault-injection seed for -fig faults (same seed replays exactly)")
 	flag.Parse()
 
 	if !*headline && !*discussion && *fig == "" {
@@ -51,6 +52,8 @@ func main() {
 			fmt.Print(mcn.Fig10(names, s))
 		case "11":
 			fmt.Print(mcn.Fig11(names, s))
+		case "faults":
+			fmt.Print(mcn.FaultSweep(*seed, nil))
 		default:
 			fmt.Fprintf(os.Stderr, "unknown figure %q\n", f)
 			os.Exit(2)

@@ -10,6 +10,7 @@ import (
 
 	"github.com/mcn-arch/mcn/internal/core"
 	"github.com/mcn-arch/mcn/internal/ethdev"
+	"github.com/mcn-arch/mcn/internal/faults"
 	"github.com/mcn-arch/mcn/internal/netstack"
 	"github.com/mcn-arch/mcn/internal/node"
 	"github.com/mcn-arch/mcn/internal/sim"
@@ -46,6 +47,12 @@ func (s *McnServer) Endpoints() []Endpoint {
 	return eps
 }
 
+// InjectFaults attaches the plan's memory-channel and control-edge fault
+// sites to the server's host driver.
+func (s *McnServer) InjectFaults(in *faults.Injector) {
+	s.Host.Driver.InjectFaults(in)
+}
+
 // McnEndpoints returns only the MCN nodes.
 func (s *McnServer) McnEndpoints() []Endpoint {
 	var eps []Endpoint
@@ -70,6 +77,7 @@ type EthCluster struct {
 	K      *sim.Kernel
 	Nodes  []*node.Host
 	Switch *ethdev.Switch
+	Links  []*ethdev.Link // node<->switch cables, by node order
 }
 
 // NewEthCluster builds a scale-out cluster of n Table II nodes.
@@ -84,10 +92,18 @@ func NewEthCluster(k *sim.Kernel, n int, cfg node.Config) *EthCluster {
 		h.AttachNIC(link, ip, uint32(0x30000+i))
 		c.Switch.AttachPort(link, h.NIC.MAC())
 		c.Nodes = append(c.Nodes, h)
+		c.Links = append(c.Links, link)
 	}
 	// Address resolution between nodes happens with real ARP broadcasts
 	// flooded by the switch; no static neighbor tables.
 	return c
+}
+
+// InjectFaults attaches a link-fault site to every node<->switch cable.
+func (c *EthCluster) InjectFaults(in *faults.Injector) {
+	for i, l := range c.Links {
+		l.Inject = in.LinkSite(fmt.Sprintf("link/node%d", i))
+	}
 }
 
 // Endpoints returns all cluster nodes.
@@ -124,6 +140,7 @@ type McnRack struct {
 	K       *sim.Kernel
 	Servers []*McnServer
 	Switch  *ethdev.Switch
+	Links   []*ethdev.Link // host<->switch cables, by server order
 }
 
 // NewMcnRack builds nServers MCN servers with dimmsPer DIMMs each, all on
@@ -141,8 +158,20 @@ func NewMcnRack(k *sim.Kernel, nServers, dimmsPer int, opts core.Options) *McnRa
 		h.AttachNIC(link, netstack.IPv4(10, 0, 0, byte(i+1)), uint32(0x40000+i))
 		r.Switch.AttachPort(link, h.NIC.MAC())
 		r.Servers = append(r.Servers, &McnServer{K: k, Host: h, Mcns: mcns})
+		r.Links = append(r.Links, link)
 	}
 	return r
+}
+
+// InjectFaults attaches fault sites across the rack: every host uplink
+// cable plus every server's memory-channel and control-edge sites.
+func (r *McnRack) InjectFaults(in *faults.Injector) {
+	for i, l := range r.Links {
+		l.Inject = in.LinkSite(fmt.Sprintf("link/host%d", i))
+	}
+	for _, s := range r.Servers {
+		s.InjectFaults(in)
+	}
 }
 
 // AllMcnEndpoints returns every MCN node across the rack, grouped by

@@ -2,6 +2,7 @@ package core
 
 import (
 	"github.com/mcn-arch/mcn/internal/dram"
+	"github.com/mcn-arch/mcn/internal/faults"
 	"github.com/mcn-arch/mcn/internal/sim"
 	"github.com/mcn-arch/mcn/internal/sram"
 	"github.com/mcn-arch/mcn/internal/stats"
@@ -36,6 +37,22 @@ type Dimm struct {
 	// alertN is wired by the host-side driver when the ALERT_N
 	// optimization is on: the DIMM asserts it when tx-poll goes 0->1.
 	alertN func()
+	// armRxWatchdog is wired by the MCN-side driver; InjectFaults calls it
+	// so the RX recovery watchdog runs only under fault injection.
+	armRxWatchdog func()
+
+	// Fault-injection sites (nil when no injector is attached):
+	// InjectAlert/InjectIRQ can swallow interrupt edges, InjectChan models
+	// ECC-detected memory-channel corruption (message discarded by the
+	// driver).
+	InjectAlert *faults.Site
+	InjectIRQ   *faults.Site
+	InjectChan  *faults.Site
+
+	// offline models a dead memory-channel interface: the host side of
+	// the DIMM stops responding and interrupt edges are lost, while the
+	// MCN processor behind it keeps running.
+	offline bool
 
 	// Stats.
 	HostReads  stats.Counter // bytes the host read from the SRAM
@@ -64,19 +81,34 @@ func (d *Dimm) SetRxIRQ(fn func()) { d.rxIRQ = fn }
 // SetAlertN wires the ALERT_N line toward the host memory controller.
 func (d *Dimm) SetAlertN(fn func()) { d.alertN = fn }
 
+// SetOffline changes the DIMM's host-interface liveness (fault injection:
+// a whole-DIMM crash/flap window).
+func (d *Dimm) SetOffline(v bool) { d.offline = v }
+
+// Online reports whether the host side of the DIMM is responding.
+func (d *Dimm) Online() bool { return !d.offline }
+
 // RaiseRxIRQ fires the MCN-side interrupt (host calls this after setting
-// rx-poll).
+// rx-poll). The edge is lost if the DIMM is offline or the injector
+// suppresses it; the ring data survives and the MCN-side watchdog recovers.
 func (d *Dimm) RaiseRxIRQ() {
 	d.RxIRQs++
+	if d.offline || (d.InjectIRQ != nil && d.InjectIRQ.SuppressEdge()) {
+		return
+	}
 	if d.rxIRQ != nil {
 		d.rxIRQ()
 	}
 }
 
 // AssertAlert fires ALERT_N toward the host (MCN-side driver calls this
-// after setting tx-poll when the optimization is enabled).
+// after setting tx-poll when the optimization is enabled). A suppressed or
+// offline edge is lost; the host watchdog recovers the stalled ring.
 func (d *Dimm) AssertAlert() {
 	d.Alerts++
+	if d.offline || (d.InjectAlert != nil && d.InjectAlert.SuppressEdge()) {
+		return
+	}
 	if d.alertN != nil {
 		d.alertN()
 	}

@@ -8,6 +8,7 @@ import (
 	"github.com/mcn-arch/mcn/internal/netstack"
 	"github.com/mcn-arch/mcn/internal/sim"
 	"github.com/mcn-arch/mcn/internal/sram"
+	"github.com/mcn-arch/mcn/internal/stats"
 )
 
 // DimmDriver is the MCN-side driver: the single virtual Ethernet interface
@@ -45,7 +46,9 @@ type DimmDriver struct {
 	// Stats.
 	TxMsgs, RxMsgs int64
 	TxBusy         int64
+	Recov          stats.RecoveryCounters
 	draining       bool
+	watchdog       *cpu.HRTimer
 }
 
 // NewDimmDriver creates the MCN-side driver for dimm, attaching it to the
@@ -53,6 +56,9 @@ type DimmDriver struct {
 // counterpart created by HostDriver.AddDimm (it defines the interface
 // MACs).
 func NewDimmDriver(k *sim.Kernel, c *cpu.CPU, s *netstack.Stack, local *dram.Channel, d *Dimm, port *HostPort, opts Options, costs DriverCosts) *DimmDriver {
+	if opts.WatchdogInterval == 0 {
+		opts.WatchdogInterval = DefaultWatchdogInterval
+	}
 	drv := &DimmDriver{
 		K: k, CPU: c, Stack: s, Opts: opts, Costs: costs,
 		dimm: d, local: local, port: port,
@@ -90,7 +96,28 @@ func NewDimmDriver(k *sim.Kernel, c *cpu.CPU, s *netstack.Stack, local *dram.Cha
 	d.SetRxIRQ(func() {
 		c.RaiseIRQ(d.Name+"/rx", drv.drainRX)
 	})
+	d.armRxWatchdog = drv.ArmWatchdog
 	return drv
+}
+
+// ArmWatchdog starts the RX recovery watchdog (idempotent). The rx-poll IRQ
+// is edge-triggered, so a lost edge (or one raised while the DIMM's host
+// interface was flapping) leaves messages sitting in the RX ring with no
+// drain scheduled; the watchdog re-kicks the drain whenever work is pending
+// and nothing is servicing it. It is armed only when fault injection is
+// attached so fault-free runs keep the seed's exact event count.
+func (drv *DimmDriver) ArmWatchdog() {
+	if drv.watchdog != nil {
+		return
+	}
+	d := drv.dimm
+	drv.watchdog = drv.CPU.NewHRTimer(drv.Opts.WatchdogInterval, func(p *sim.Proc) {
+		if (d.Buf.RxPoll || !d.Buf.RX.Empty()) && !drv.draining {
+			drv.Recov.WatchdogKicks++
+			drv.drainRX(p)
+		}
+	})
+	drv.watchdog.Start()
 }
 
 type rxEntry struct {
@@ -181,6 +208,9 @@ func (drv *DimmDriver) Transmit(p *sim.Proc, f netstack.Frame) {
 // be starved by transmitters spinning on a full ring.
 func (drv *DimmDriver) pushTX(p *sim.Proc, msg []byte, st *McnStamps, onCPU bool) {
 	d := drv.dimm
+	if d.InjectChan != nil && d.InjectChan.Message() {
+		return // ECC-detected channel corruption: message discarded
+	}
 	for {
 		pushed := false
 		attempt := func() {

@@ -1,0 +1,29 @@
+package core
+
+import (
+	"github.com/mcn-arch/mcn/internal/faults"
+)
+
+// InjectFaults attaches the plan's MCN-side fault sites to every DIMM this
+// driver manages and schedules the plan's DIMM offline windows. Call after
+// AddDimm and before running the simulation.
+func (hd *HostDriver) InjectFaults(in *faults.Injector) {
+	hd.armWatchdog()
+	for _, port := range hd.ports {
+		d := port.dimm
+		d.InjectAlert = in.EdgeSite(d.Name+"/alertn", in.Plan.AlertSuppressProb)
+		d.InjectIRQ = in.EdgeSite(d.Name+"/rxirq", in.Plan.RxIRQSuppressProb)
+		d.InjectChan = in.McnSite(d.Name + "/chan")
+		if d.armRxWatchdog != nil {
+			d.armRxWatchdog()
+		}
+		for _, fl := range in.Plan.DimmFlaps {
+			if fl.Name != d.Name {
+				continue
+			}
+			d := d
+			hd.K.At(fl.Start, func() { d.SetOffline(true) })
+			hd.K.At(fl.End, func() { d.SetOffline(false) })
+		}
+	}
+}

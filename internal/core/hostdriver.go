@@ -8,6 +8,7 @@ import (
 	"github.com/mcn-arch/mcn/internal/netstack"
 	"github.com/mcn-arch/mcn/internal/sim"
 	"github.com/mcn-arch/mcn/internal/sram"
+	"github.com/mcn-arch/mcn/internal/stats"
 )
 
 // McnStamps carries per-stage timestamps for one traced MCN message; the
@@ -35,11 +36,12 @@ type HostDriver struct {
 	Opts  Options
 	Costs DriverCosts
 
-	ports  []*HostPort
-	byMAC  map[netstack.MAC]*HostPort // host-side and MCN-side MACs
-	uplink netstack.NetDev            // conventional NIC for F4
-	timer  *cpu.HRTimer
-	dmas   map[int]*DMAEngine // per host channel index
+	ports    []*HostPort
+	byMAC    map[netstack.MAC]*HostPort // host-side and MCN-side MACs
+	uplink   netstack.NetDev            // conventional NIC for F4
+	timer    *cpu.HRTimer
+	watchdog *cpu.HRTimer
+	dmas     map[int]*DMAEngine // per host channel index
 
 	// MACBase offsets the interface MACs this driver assigns; hosts in a
 	// multi-server rack use distinct bases so MCN-side MACs stay unique
@@ -66,6 +68,7 @@ type HostDriver struct {
 	TxBusy        int64
 	PollRounds    int64
 	PollHits      int64
+	Recov         stats.RecoveryCounters
 }
 
 // NewHostDriver creates the host-side driver. Call AddDimm for each MCN
@@ -73,6 +76,9 @@ type HostDriver struct {
 func NewHostDriver(k *sim.Kernel, c *cpu.CPU, s *netstack.Stack, opts Options, costs DriverCosts) *HostDriver {
 	if opts.PollInterval == 0 {
 		opts.PollInterval = DefaultPollInterval
+	}
+	if opts.WatchdogInterval == 0 {
+		opts.WatchdogInterval = DefaultWatchdogInterval
 	}
 	return &HostDriver{
 		K: k, CPU: c, Stack: s, Opts: opts, Costs: costs,
@@ -103,6 +109,11 @@ type HostPort struct {
 	// active so its wakeup is never lost.
 	draining     bool
 	alertPending bool
+	// carrier is the virtual netdev's carrier state: dropped when the
+	// liveness probe finds the DIMM offline, restored when it answers
+	// again. With carrier down the port fails fast instead of retrying
+	// into a dead ring.
+	carrier bool
 	// rx metadata queues parallel the SRAM rings for traced messages.
 	txMeta []*McnStamps
 	rxMeta []*McnStamps
@@ -123,6 +134,7 @@ func (hd *HostDriver) AddDimm(d *Dimm, hostIP, mcnIP netstack.IP, idx int) *Host
 		name:    fmt.Sprintf("mcn%d", idx),
 		hostMAC: netstack.NewMAC(0x10000 + hd.MACBase + uint32(idx)),
 		mcnMAC:  netstack.NewMAC(0x20000 + hd.MACBase + uint32(idx)),
+		carrier: true,
 	}
 	ifc := hd.Stack.AddIface(port, hostIP, netstack.MaskAll)
 	ifc.Peer = mcnIP
@@ -187,7 +199,10 @@ func (hd *HostDriver) bridgeFromUplink(p *sim.Proc, frame []byte) bool {
 }
 
 // Start arms the polling agent. With the ALERT_N optimization the periodic
-// timer is unnecessary (Sec. IV-B).
+// data-path timer is unnecessary (Sec. IV-B): an ALERT_N edge is the only
+// wakeup. A coarse recovery watchdog takes the timer's place once fault
+// injection is attached (see armWatchdog) — a lost edge or a DIMM that died
+// outright would otherwise stall the ring forever.
 func (hd *HostDriver) Start() {
 	if hd.Opts.DimmInterrupt {
 		return
@@ -196,11 +211,76 @@ func (hd *HostDriver) Start() {
 	hd.timer.Start()
 }
 
-// Stop disarms the polling agent.
+// armWatchdog starts the recovery watchdog (idempotent). It is armed only
+// when a fault injector is attached: fault-free simulations keep exactly the
+// event count and CPU costs they had without the recovery machinery, and
+// only interrupt-driven configurations need it (the polling agent already
+// rescans every ring each tick).
+func (hd *HostDriver) armWatchdog() {
+	if !hd.Opts.DimmInterrupt || hd.watchdog != nil {
+		return
+	}
+	hd.watchdog = hd.CPU.NewHRTimer(hd.Opts.WatchdogInterval, hd.watchdogScan)
+	hd.watchdog.Start()
+}
+
+// Stop disarms the polling agent and the watchdog.
 func (hd *HostDriver) Stop() {
 	if hd.timer != nil {
 		hd.timer.Stop()
 	}
+	if hd.watchdog != nil {
+		hd.watchdog.Stop()
+	}
+}
+
+// probeCarrier refreshes one port's carrier state from the DIMM's
+// host-interface liveness, counting each transition.
+func (hd *HostDriver) probeCarrier(port *HostPort) {
+	online := port.dimm.Online()
+	switch {
+	case port.carrier && !online:
+		port.carrier = false
+		hd.Recov.CarrierDowns++
+	case !port.carrier && online:
+		port.carrier = true
+		hd.Recov.CarrierUps++
+	}
+}
+
+// Carrier reports the port's netdev carrier state.
+func (p *HostPort) Carrier() bool { return p.carrier }
+
+// watchdogScan is the recovery timer body: probe every DIMM's liveness and
+// re-kick any ring that has work pending but no active drain — the state a
+// lost ALERT_N edge leaves behind.
+func (hd *HostDriver) watchdogScan(p *sim.Proc) {
+	for _, port := range hd.ports {
+		hd.probeCarrier(port)
+		if !port.carrier {
+			continue
+		}
+		hd.CPU.Exec(p, hd.Costs.PollCheckCycles)
+		port.dimm.HostAccess(p, 8, false, false)
+		if port.dimm.Buf.TxPoll && !port.draining {
+			hd.Recov.WatchdogKicks++
+			hd.kick(port)
+		}
+	}
+}
+
+// kick dispatches a drain of the port's TX ring through whichever engine
+// the configuration uses.
+func (hd *HostDriver) kick(port *HostPort) {
+	if hd.Opts.DMA {
+		hd.dmas[port.dimm.ChannelIdx].Submit(func(dp *sim.Proc) {
+			hd.drainDMA(dp, port)
+		})
+		return
+	}
+	hd.K.Go(port.name+"/drain", func(dp *sim.Proc) {
+		hd.drain(dp, port)
+	})
 }
 
 // ---- netstack.NetDev for HostPort ----
@@ -236,6 +316,12 @@ func (p *HostPort) Features() netstack.Features {
 // the qdisc service or the MCN-DMA engine performs T1-T3.
 func (p *HostPort) Transmit(pr *sim.Proc, f netstack.Frame) {
 	hd := p.drv
+	if !p.carrier {
+		// Fail fast: the DIMM is dead; let the sender's own recovery
+		// (TCP retransmission) find another path or wait out the flap.
+		hd.Recov.CarrierDrops++
+		return
+	}
 	var st *McnStamps
 	if len(f.Data) >= hd.TraceMinBytes {
 		st = &McnStamps{DriverTxStart: pr.Now()}
@@ -272,7 +358,16 @@ func (p *HostPort) qdiscService(pr *sim.Proc) {
 func (p *HostPort) writeToDimm(pr *sim.Proc, msg []byte, st *McnStamps, onCPU bool) {
 	hd := p.drv
 	d := p.dimm
+	if d.InjectChan != nil && d.InjectChan.Message() {
+		return // ECC-detected channel corruption: message discarded
+	}
 	for {
+		if !d.Online() {
+			// The DIMM died under us (possibly after this message was
+			// queued): drop instead of retrying into a dead ring.
+			hd.Recov.CarrierDrops++
+			return
+		}
 		pushed := false
 		attempt := func() {
 			// T1: read rx-start / rx-end (one control line).
@@ -328,6 +423,10 @@ func (p *HostPort) writeToDimm(pr *sim.Proc, msg []byte, st *McnStamps, onCPU bo
 func (hd *HostDriver) pollAll(p *sim.Proc) {
 	hd.PollRounds++
 	for _, port := range hd.ports {
+		hd.probeCarrier(port)
+		if !port.carrier {
+			continue
+		}
 		hd.CPU.Exec(p, hd.Costs.PollCheckCycles)
 		// Reading the flag is one uncached access to the SRAM window.
 		port.dimm.HostAccess(p, 8, false, false)
@@ -399,6 +498,9 @@ func (hd *HostDriver) drain(p *sim.Proc, port *HostPort) {
 	d.HostAccess(p, 64, false, true)
 	idle := 0
 	for {
+		if !d.Online() {
+			return // DIMM died mid-drain; the watchdog resumes it later
+		}
 		for !d.Buf.TX.Empty() {
 			idle = 0
 			msg := d.Buf.TX.Pop()
@@ -454,6 +556,9 @@ func (hd *HostDriver) drainDMA(dp *sim.Proc, port *HostPort) {
 	}
 	var pkts []pkt
 	for {
+		if !d.Online() {
+			break // deliver what was copied; the watchdog resumes later
+		}
 		for !d.Buf.TX.Empty() {
 			msg := d.Buf.TX.Pop()
 			var st *McnStamps

@@ -8,9 +8,11 @@ package ethdev
 
 import (
 	"fmt"
+	"hash/crc32"
 
 	"github.com/mcn-arch/mcn/internal/cpu"
 	"github.com/mcn-arch/mcn/internal/dram"
+	"github.com/mcn-arch/mcn/internal/faults"
 	"github.com/mcn-arch/mcn/internal/netstack"
 	"github.com/mcn-arch/mcn/internal/sim"
 	"github.com/mcn-arch/mcn/internal/stats"
@@ -27,10 +29,21 @@ type Stamps struct {
 	DriverRxEnd   sim.Time // handed to the network stack
 }
 
-// wireFrame is what travels between NICs and switches.
+// wireFrame is what travels between NICs and switches. The FCS is stamped
+// lazily — only on links with a fault injector attached — so fault-free
+// simulations pay nothing for it. A frame corrupted in flight keeps its
+// original FCS, which is exactly how the receiver catches the flip.
 type wireFrame struct {
 	data   []byte
 	stamps *Stamps
+	fcs    uint32
+	hasFCS bool
+}
+
+// fcsOK reports whether the frame's payload still matches its FCS; frames
+// without a stamped FCS (fault-free paths) always pass.
+func (f wireFrame) fcsOK() bool {
+	return !f.hasFCS || crc32.ChecksumIEEE(f.data) == f.fcs
 }
 
 // endpoint is anything that can accept a frame from a link.
@@ -44,6 +57,10 @@ type Link struct {
 	k       *sim.Kernel
 	Latency sim.Duration
 	a, b    endpoint
+
+	// Inject, when set, subjects every frame crossing the link (either
+	// direction) to the site's drop/corrupt/flap decisions.
+	Inject *faults.Site
 }
 
 // NewLink creates an unattached link with the given propagation delay.
@@ -74,6 +91,18 @@ func (l *Link) deliver(from endpoint, f wireFrame) {
 	}
 	if to == nil {
 		return // unconnected: frame vanishes
+	}
+	if l.Inject != nil {
+		if !f.hasFCS {
+			f.fcs = crc32.ChecksumIEEE(f.data)
+			f.hasFCS = true
+		}
+		switch l.Inject.Frame(l.k.Now()) {
+		case faults.Drop:
+			return
+		case faults.Corrupt:
+			f.data = l.Inject.CorruptCopy(f.data) // FCS left stale on purpose
+		}
 	}
 	l.k.After(l.Latency, func() { to.receive(f) })
 }
@@ -135,6 +164,7 @@ type NIC struct {
 	TxFrames         int64
 	RxFrames         int64
 	RxDropped        int64
+	Recov            stats.RecoveryCounters
 	Busy             *stats.BusyMeter
 }
 
@@ -222,8 +252,14 @@ func (n *NIC) txEngine(p *sim.Proc) {
 	}
 }
 
-// receive is called by the link when a frame fully arrives.
+// receive is called by the link when a frame fully arrives. The MAC layer
+// verifies the FCS before the frame reaches the RX ring: a corrupted frame
+// is dropped here and the loss is recovered end-to-end (TCP retransmit).
 func (n *NIC) receive(f wireFrame) {
+	if !f.fcsOK() {
+		n.Recov.FCSDrops++
+		return
+	}
 	if f.stamps != nil {
 		f.stamps.PhyEnd = n.k.Now()
 	}
@@ -303,6 +339,7 @@ type Switch struct {
 	Forwarded int64
 	Flooded   int64
 	Dropped   int64
+	Recov     stats.RecoveryCounters
 }
 
 type switchPort struct {
@@ -333,6 +370,12 @@ func (s *Switch) AttachPort(link *Link, hostMAC netstack.MAC) {
 
 func (p *switchPort) receive(f wireFrame) {
 	s := p.sw
+	// Verify the FCS at ingress so a frame corrupted on the upstream link
+	// dies at the first hop instead of being forwarded cluster-wide.
+	if !f.fcsOK() {
+		s.Recov.FCSDrops++
+		return
+	}
 	eth, ok := netstack.ParseEth(f.data)
 	if !ok {
 		s.Dropped++

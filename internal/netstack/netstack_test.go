@@ -23,6 +23,8 @@ type wireDev struct {
 	latency   sim.Duration
 	rate      float64 // bytes/sec
 	dropEvery int
+	dropNext  int // one-shot: silently drop the next N frames
+	dropAt    int // one-shot: drop exactly the frame with this count
 	count     int
 	// jitterFn, when set, supplies the per-frame latency (reordering).
 	jitterFn func() sim.Duration
@@ -42,6 +44,13 @@ func (d *wireDev) Transmit(p *sim.Proc, f Frame) {
 	}
 	for _, fr := range frames {
 		d.count++
+		if d.dropNext > 0 {
+			d.dropNext--
+			continue
+		}
+		if d.dropAt > 0 && d.count == d.dropAt {
+			continue
+		}
 		if d.dropEvery > 0 && d.count%d.dropEvery == 0 {
 			continue
 		}

@@ -118,6 +118,10 @@ type TCPConn struct {
 	closed    bool
 	closeErr  error
 
+	// backoff counts consecutive retransmission timeouts; each one doubles
+	// the next RTO (clamped at tcpMaxRTO) until a new ACK resets it.
+	backoff int
+
 	// Stats.
 	BytesSent  stats.Counter
 	BytesRcvd  stats.Counter
@@ -125,6 +129,7 @@ type TCPConn struct {
 	SegsRcvd   int64
 	AcksSent   int64
 	Retransmit int64
+	Timeouts   int64
 }
 
 func (s *Stack) newConn(t fourTuple, ifc *Iface) *TCPConn {
@@ -530,6 +535,19 @@ func (c *TCPConn) currentRTO() sim.Duration {
 	return rto
 }
 
+// rtoWithBackoff applies the exponential backoff: sustained loss must back
+// the retransmission cadence off instead of hammering at a fixed rate.
+func (c *TCPConn) rtoWithBackoff() sim.Duration {
+	rto := c.currentRTO()
+	for i := 0; i < c.backoff && rto < tcpMaxRTO; i++ {
+		rto *= 2
+	}
+	if rto > tcpMaxRTO {
+		rto = tcpMaxRTO
+	}
+	return rto
+}
+
 // onRTO fires in kernel context: retransmission timeout.
 func (c *TCPConn) onRTO() {
 	if c.closed {
@@ -539,6 +557,8 @@ func (c *TCPConn) onRTO() {
 	if c.sndUna == c.sndNxt && c.state != tcpSynSent && c.state != tcpSynRcvd {
 		return
 	}
+	c.backoff++
+	c.Timeouts++
 	c.s.K.Go(c.s.Host+"/tcp-rto", func(p *sim.Proc) {
 		if c.closed {
 			return
@@ -565,7 +585,7 @@ func (c *TCPConn) onRTO() {
 			}
 			c.sendable.Notify()
 		}
-		c.rto.Reset(c.currentRTO() * 2)
+		c.rto.Reset(c.rtoWithBackoff())
 	})
 }
 
@@ -746,6 +766,7 @@ func (c *TCPConn) processAck(p *sim.Proc, ack uint32) {
 	acked := int(ack - c.sndUna)
 	c.sndUna = ack
 	c.dupAcks = 0
+	c.backoff = 0 // new data acknowledged: the path is alive again
 
 	// RTT sample (Karn: only for non-retransmitted data).
 	if c.rtActive && SeqGEQ(ack, c.rtSeq) {

@@ -137,6 +137,47 @@ func (h *Histogram) String() string {
 		h.N(), h.Mean(), h.Median(), h.Quantile(0.99), h.Max())
 }
 
+// FaultCounters records the fault events one injection site has inflicted
+// on its layer. Sites live in internal/faults; the counter block lives here
+// so every layer reports faults in one shape and determinism tests can
+// compare snapshots across runs.
+type FaultCounters struct {
+	Site        string
+	Drops       int64 // frames/messages randomly lost
+	BurstDrops  int64 // additional losses inside a loss burst
+	FlapDrops   int64 // losses inside a carrier-flap window
+	Corruptions int64 // bit-flips injected (caught by FCS/CRC at RX)
+	Suppressed  int64 // interrupt/alert edges swallowed
+}
+
+// Total sums every kind of injected fault.
+func (f *FaultCounters) Total() int64 {
+	return f.Drops + f.BurstDrops + f.FlapDrops + f.Corruptions + f.Suppressed
+}
+
+// String renders the counters compactly.
+func (f *FaultCounters) String() string {
+	return fmt.Sprintf("%s: drop=%d burst=%d flap=%d corrupt=%d suppressed=%d",
+		f.Site, f.Drops, f.BurstDrops, f.FlapDrops, f.Corruptions, f.Suppressed)
+}
+
+// RecoveryCounters records a layer's fault-detection and recovery events:
+// what the hardened receive paths rejected and what the watchdogs repaired.
+// Components embed one and bump the fields that apply to them.
+type RecoveryCounters struct {
+	FCSDrops      int64 // frames rejected by the RX FCS/CRC verify
+	WatchdogKicks int64 // stalled rings re-kicked by a watchdog timer
+	CarrierDrops  int64 // frames dropped toward a dead/offline device
+	CarrierDowns  int64 // device-death detections (netdev carrier-down)
+	CarrierUps    int64 // device recoveries (carrier restored)
+}
+
+// String renders the counters compactly.
+func (r *RecoveryCounters) String() string {
+	return fmt.Sprintf("fcsDrop=%d kicks=%d carrierDrop=%d down=%d up=%d",
+		r.FCSDrops, r.WatchdogKicks, r.CarrierDrops, r.CarrierDowns, r.CarrierUps)
+}
+
 // BusyMeter accumulates intervals during which a component was active.
 // Overlapping Busy calls are additive (two cores busy for 1s = 2s busy
 // time), which is what energy integration wants.

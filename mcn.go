@@ -30,6 +30,7 @@ import (
 	"github.com/mcn-arch/mcn/internal/core"
 	"github.com/mcn-arch/mcn/internal/energy"
 	"github.com/mcn-arch/mcn/internal/exp"
+	"github.com/mcn-arch/mcn/internal/faults"
 	"github.com/mcn-arch/mcn/internal/kvstore"
 	"github.com/mcn-arch/mcn/internal/mapreduce"
 	"github.com/mcn-arch/mcn/internal/mcnfast"
@@ -38,6 +39,7 @@ import (
 	"github.com/mcn-arch/mcn/internal/node"
 	"github.com/mcn-arch/mcn/internal/npb"
 	"github.com/mcn-arch/mcn/internal/sim"
+	"github.com/mcn-arch/mcn/internal/stats"
 	"github.com/mcn-arch/mcn/internal/trace"
 	"github.com/mcn-arch/mcn/internal/workloads"
 )
@@ -218,6 +220,31 @@ func DialKV(p *Proc, ep Endpoint, addr IP, port uint16) (*KVClient, error) {
 	return kvstore.Dial(p, ep, addr, port)
 }
 
+// Fault injection: deterministic, seed-driven chaos for every layer.
+type (
+	// FaultPlan describes one run's injected faults (what, where, how
+	// likely); the zero value injects nothing.
+	FaultPlan = faults.Plan
+	// FaultInjector owns the per-site decision streams and counters.
+	FaultInjector = faults.Injector
+	// DimmFlap is a whole-DIMM offline window.
+	DimmFlap = faults.DimmFlap
+	// PortFlapWindow is a link carrier-flap window.
+	PortFlapWindow = faults.Window
+	// FaultCounters is one injection site's tally.
+	FaultCounters = stats.FaultCounters
+	// RecoveryCounters is one layer's detection/recovery tally.
+	RecoveryCounters = stats.RecoveryCounters
+)
+
+// NewFaultInjector creates an injector for the plan; attach it with the
+// topologies' InjectFaults methods (EthCluster, McnServer, McnRack) before
+// running the simulation. Same seed, same topology, same workload — same
+// faults, bit for bit.
+func NewFaultInjector(k *Kernel, plan FaultPlan) *FaultInjector {
+	return faults.New(k, plan)
+}
+
 // Tracer is a tcpdump-style packet capture; attach one to any node with
 // ep.Node.Stack.Tap = tracer, run the simulation, then print
 // tracer.Dump().
@@ -242,6 +269,7 @@ type (
 	Fig11Result      = exp.Fig11Result
 	HeadlineResult   = exp.HeadlineResult
 	DiscussionResult = exp.DiscussionResult
+	FaultSweepResult = exp.FaultSweepResult
 	// Scale trades working-set size for run time in Figs. 9-11.
 	Scale = exp.Scale
 )
@@ -277,3 +305,10 @@ func Headline(names []string, scale Scale) *HeadlineResult { return exp.Headline
 // Discussion quantifies Sec. VII: TCP's ACK overhead on MCN and the gains
 // of the specialized (TCP-bypassing) transport.
 func Discussion() *DiscussionResult { return exp.Discussion() }
+
+// FaultSweep measures iperf goodput vs injected loss rate (10GbE vs mcn0
+// vs mcn5); nil rates uses the default ladder. The sweep replays exactly
+// from the seed.
+func FaultSweep(seed uint64, rates []float64) *FaultSweepResult {
+	return exp.FaultSweep(seed, rates)
+}

@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# Full local gate: build, vet, and the complete test suite under the race
+# detector. Pass -short (or any other go test flags) as arguments to trim
+# the run; the chaos integration test skips itself in -short mode.
+set -e
+
+cd "$(dirname "$0")/.."
+
+echo ">> go build ./..."
+go build ./...
+
+echo ">> go vet ./..."
+go vet ./...
+
+echo ">> go test -race $* ./..."
+go test -race "$@" ./...
+
+echo "check: OK"
