@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check test-short
+.PHONY: build test check test-short bench
 
 build:
 	$(GO) build ./...
@@ -15,3 +15,8 @@ check:
 # Same gate with the long integration runs (chaos, NPB classes) trimmed.
 test-short:
 	./scripts/check.sh -short
+
+# Serving benchmark: deterministic latency-vs-load sweep at a fixed seed,
+# writes BENCH_serve.json (qps at the p99 SLO per topology).
+bench:
+	./scripts/bench.sh

@@ -18,12 +18,12 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "", "which figure/table to regenerate: 8a, 8b, 8c, t3, 9, 10, 11, faults, all")
+	fig := flag.String("fig", "", "which figure/table to regenerate: 8a, 8b, 8c, t3, 9, 10, 11, faults, serve, serve-faults, all")
 	headline := flag.Bool("headline", false, "compute the abstract's headline numbers")
 	discussion := flag.Bool("discussion", false, "run the Sec. VII TCP-overhead / fast-transport comparison")
 	scale := flag.Float64("scale", float64(mcn.QuickScale), "working-set multiplier for figs 9-11")
 	workloadList := flag.String("workloads", "", "comma-separated workload subset (default: full suite)")
-	seed := flag.Uint64("seed", 42, "fault-injection seed for -fig faults (same seed replays exactly)")
+	seed := flag.Uint64("seed", 42, "random seed for -fig faults/serve/serve-faults (same seed replays exactly)")
 	flag.Parse()
 
 	if !*headline && !*discussion && *fig == "" {
@@ -54,6 +54,10 @@ func main() {
 			fmt.Print(mcn.Fig11(names, s))
 		case "faults":
 			fmt.Print(mcn.FaultSweep(*seed, nil))
+		case "serve":
+			fmt.Print(mcn.ServeCurve(*seed, nil))
+		case "serve-faults":
+			fmt.Print(mcn.ServeFaults(*seed))
 		default:
 			fmt.Fprintf(os.Stderr, "unknown figure %q\n", f)
 			os.Exit(2)

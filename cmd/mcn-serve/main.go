@@ -1,0 +1,167 @@
+// Command mcn-serve runs the kvstore serving benchmark: Zipfian load
+// generators drive a sharded key/value tier over one of the serving
+// topologies and report warmup-trimmed tail latencies.
+//
+// Usage:
+//
+//	mcn-serve -topo mcn5 -rate 400000            # one run, human-readable
+//	mcn-serve -topo 10gbe -rate 400000 -json     # one run, JSON
+//	mcn-serve -curve                             # full latency-vs-load sweep
+//	mcn-serve -bench -out BENCH_serve.json       # qps-at-SLO per topology
+//
+// Every run is seeded; the same -seed replays bit-identically.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/mcn-arch/mcn"
+)
+
+// runJSON is the single-run JSON shape.
+type runJSON struct {
+	Seed       uint64         `json:"seed"`
+	Topo       string         `json:"topo"`
+	OfferedQPS float64        `json:"offered_qps,omitempty"`
+	Workers    int            `json:"closed_workers,omitempty"`
+	QPS        float64        `json:"qps"`
+	N          int64          `json:"n"`
+	Errors     int64          `json:"errors"`
+	Unfinished int64          `json:"unfinished"`
+	P50Ns      float64        `json:"p50_ns"`
+	P95Ns      float64        `json:"p95_ns"`
+	P99Ns      float64        `json:"p99_ns"`
+	P999Ns     float64        `json:"p999_ns"`
+	MaxNs      float64        `json:"max_ns"`
+	Degraded   []int          `json:"degraded,omitempty"`
+	Shards     []runShardJSON `json:"shards"`
+}
+
+type runShardJSON struct {
+	Shard      int     `json:"shard"`
+	Name       string  `json:"name"`
+	N          int64   `json:"n"`
+	Errors     int64   `json:"errors"`
+	Unfinished int64   `json:"unfinished"`
+	P99Ns      float64 `json:"p99_ns"`
+	MaxNs      int64   `json:"max_ns"`
+}
+
+// benchJSON is the BENCH_serve.json shape: the qps-at-SLO headline per
+// topology plus the full curves behind it.
+type benchJSON struct {
+	Seed     uint64             `json:"seed"`
+	SLONs    float64            `json:"slo_p99_ns"`
+	QpsAtSLO map[string]float64 `json:"qps_at_slo"`
+	Curves   []benchCurveJSON   `json:"curves"`
+}
+
+type benchCurveJSON struct {
+	Topo   string           `json:"topo"`
+	Points []benchPointJSON `json:"points"`
+}
+
+type benchPointJSON struct {
+	OfferedQPS float64 `json:"offered_qps"`
+	QPS        float64 `json:"qps"`
+	P50Ns      float64 `json:"p50_ns"`
+	P99Ns      float64 `json:"p99_ns"`
+	P999Ns     float64 `json:"p999_ns"`
+	Errors     int64   `json:"errors"`
+	Unfinished int64   `json:"unfinished"`
+}
+
+func main() {
+	seed := flag.Uint64("seed", 42, "random seed; the same seed replays bit-identically")
+	topo := flag.String("topo", "mcn5", "serving topology: mcn0, mcn5, 10gbe, scaleup")
+	rate := flag.Float64("rate", 400e3, "open-loop offered load, requests/sec")
+	workers := flag.Int("closed", 0, "closed-loop worker count (overrides -rate)")
+	curve := flag.Bool("curve", false, "sweep the full latency-vs-load curve over every topology")
+	bench := flag.Bool("bench", false, "run the sweep and write the qps-at-SLO benchmark JSON")
+	rates := flag.String("rates", "", "comma-separated offered-load ladder for -curve/-bench (default: built-in)")
+	slo := flag.Float64("slo", mcn.DefaultServeSLONs, "p99 SLO in nanoseconds for qps-at-SLO")
+	jsonOut := flag.Bool("json", false, "emit JSON instead of text")
+	out := flag.String("out", "", "write output to this file instead of stdout")
+	flag.Parse()
+
+	var ladder []float64
+	if *rates != "" {
+		for _, f := range strings.Split(*rates, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bad -rates entry %q: %v\n", f, err)
+				os.Exit(2)
+			}
+			ladder = append(ladder, v)
+		}
+	}
+
+	var text string
+	var value any
+	switch {
+	case *bench:
+		r := mcn.ServeCurve(*seed, ladder)
+		r.SLONs = *slo
+		b := benchJSON{Seed: r.Seed, SLONs: r.SLONs, QpsAtSLO: map[string]float64{}}
+		for _, c := range r.Curves {
+			b.QpsAtSLO[c.Topo] = c.QpsAtSLO(r.SLONs)
+			bc := benchCurveJSON{Topo: c.Topo}
+			for _, p := range c.Points {
+				bc.Points = append(bc.Points, benchPointJSON{
+					OfferedQPS: p.OfferedQPS, QPS: p.Summary.QPS,
+					P50Ns: p.Summary.P50, P99Ns: p.Summary.P99, P999Ns: p.Summary.P999,
+					Errors: p.Errors, Unfinished: p.Unfinished,
+				})
+			}
+			b.Curves = append(b.Curves, bc)
+		}
+		value, text = b, r.String()
+		*jsonOut = *jsonOut || *out != "" // the bench artifact is always JSON
+	case *curve:
+		r := mcn.ServeCurve(*seed, ladder)
+		r.SLONs = *slo
+		value, text = r, r.String()
+	default:
+		res := mcn.ServeOnce(*seed, *topo, *rate, *workers)
+		j := runJSON{
+			Seed: res.Seed, Topo: *topo, OfferedQPS: res.OfferedQPS, Workers: res.ClosedWorkers,
+			QPS: res.QPS, N: res.N, Errors: res.Errors, Unfinished: res.Unfinished,
+			P50Ns: res.Total.Quantile(0.50), P95Ns: res.Total.Quantile(0.95),
+			P99Ns: res.Total.Quantile(0.99), P999Ns: res.Total.Quantile(0.999),
+			MaxNs: float64(res.Total.Max()), Degraded: res.Degraded(),
+		}
+		for _, ss := range res.PerShard {
+			j.Shards = append(j.Shards, runShardJSON{
+				Shard: ss.Shard, Name: ss.Name, N: ss.N, Errors: ss.Errors,
+				Unfinished: ss.Unfinished, P99Ns: ss.Lat.Quantile(0.99), MaxNs: ss.Lat.Max(),
+			})
+		}
+		value, text = j, res.String()
+	}
+
+	var buf []byte
+	if *jsonOut {
+		var err error
+		buf, err = json.MarshalIndent(value, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		buf = append(buf, '\n')
+	} else {
+		buf = []byte(text)
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	os.Stdout.Write(buf)
+}

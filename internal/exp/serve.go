@@ -1,0 +1,278 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/mcn-arch/mcn/internal/cluster"
+	"github.com/mcn-arch/mcn/internal/core"
+	"github.com/mcn-arch/mcn/internal/faults"
+	"github.com/mcn-arch/mcn/internal/kvstore"
+	"github.com/mcn-arch/mcn/internal/netstack"
+	"github.com/mcn-arch/mcn/internal/serve"
+	"github.com/mcn-arch/mcn/internal/sim"
+)
+
+// ServeShards is the shard count every serving topology runs with: one
+// kvstore per MCN DIMM, per cluster node, or per scale-up port, so the
+// comparison holds the software architecture fixed and varies only the
+// fabric (the paper's Discussion: one MCN server vs a rack of memcached
+// nodes).
+const ServeShards = 8
+
+// DefaultServeRates is the offered-load ladder (requests/sec) of the
+// latency-vs-throughput sweep.
+var DefaultServeRates = []float64{100e3, 200e3, 400e3, 800e3, 1.2e6, 1.4e6, 1.6e6}
+
+// DefaultServeSLONs is the p99 service-level objective (ns) used for the
+// qps-at-SLO headline. 40us sits well above every topology's unloaded
+// p99 and well below the saturated tails, so the headline measures where
+// each fabric's latency knee is.
+const DefaultServeSLONs = 40e3 // 40us
+
+// ServeTopos lists the serving topologies in presentation order.
+var ServeTopos = []string{"mcn0", "mcn5", "10gbe", "scaleup"}
+
+// ServePoint is one offered-load point of one topology's curve.
+type ServePoint struct {
+	OfferedQPS float64
+	Summary    serve.Summary
+	Errors     int64
+	Unfinished int64
+	Degraded   []int
+}
+
+// Healthy reports whether the point completed every measured request.
+func (p ServePoint) Healthy() bool { return p.Errors == 0 && p.Unfinished == 0 }
+
+// ServeTopoCurve is one topology's latency-vs-throughput curve.
+type ServeTopoCurve struct {
+	Topo   string
+	Points []ServePoint
+}
+
+// QpsAtSLO returns the highest achieved throughput among points that meet
+// the p99 objective (ns) with no errors or unfinished requests; 0 if none
+// do.
+func (c ServeTopoCurve) QpsAtSLO(sloNs float64) float64 {
+	best := 0.0
+	for _, p := range c.Points {
+		if p.Healthy() && p.Summary.P99 <= sloNs && p.Summary.QPS > best {
+			best = p.Summary.QPS
+		}
+	}
+	return best
+}
+
+// ServeCurveResult is the full sweep.
+type ServeCurveResult struct {
+	Seed   uint64
+	SLONs  float64
+	Curves []ServeTopoCurve
+}
+
+// Curve returns the named topology's curve, or nil.
+func (r *ServeCurveResult) Curve(topo string) *ServeTopoCurve {
+	for i := range r.Curves {
+		if r.Curves[i].Topo == topo {
+			return &r.Curves[i]
+		}
+	}
+	return nil
+}
+
+// serveConfig is the shared workload/run shape of every sweep point.
+func serveConfig(seed uint64, rate float64) serve.Config {
+	return serve.Config{
+		Seed:       seed,
+		Workload:   serve.Workload{Keys: 4000, ValueBytes: 128},
+		RatePerSec: rate,
+		Connect:    30 * sim.Millisecond,
+		Warmup:     sim.Millisecond,
+		Measure:    5 * sim.Millisecond,
+		Drain:      2 * sim.Millisecond,
+	}
+}
+
+// buildServeTopo constructs the named topology on k and returns the shard
+// and client sides. Every topology exposes ServeShards kvstore shards.
+func buildServeTopo(k *sim.Kernel, topo string) (shards []serve.Shard, clients []cluster.Endpoint, inject func(*faults.Injector)) {
+	switch topo {
+	case "mcn0", "mcn5":
+		opts := core.MCN0.Options()
+		if topo == "mcn5" {
+			opts = core.MCN5.Options()
+		}
+		s := cluster.NewMcnServer(k, ServeShards, opts)
+		for _, m := range s.Mcns {
+			ep := cluster.Endpoint{Node: m.Node, IP: m.IP}
+			srv := kvstore.NewServer(k, ep, 11211)
+			shards = append(shards, serve.Shard{Name: m.Node.Name, Addr: m.IP, Port: 11211, Server: srv})
+		}
+		clients = []cluster.Endpoint{{Node: s.Host.Node, IP: s.Host.HostMcnIP()}}
+		inject = s.InjectFaults
+	case "10gbe":
+		c := newEthCluster(k, ServeShards+1)
+		eps := c.Endpoints()
+		for _, ep := range eps[1:] {
+			srv := kvstore.NewServer(k, ep, 11211)
+			shards = append(shards, serve.Shard{Name: ep.Node.Name, Addr: ep.IP, Port: 11211, Server: srv})
+		}
+		clients = eps[:1]
+		inject = c.InjectFaults
+	case "scaleup":
+		h := cluster.NewScaleUp(k, 16)
+		ep := cluster.Endpoint{Node: h.Node, IP: netstack.Loopback}
+		for i := 0; i < ServeShards; i++ {
+			port := uint16(11211 + i)
+			srv := kvstore.NewServer(k, ep, port)
+			shards = append(shards, serve.Shard{
+				Name: fmt.Sprintf("lo:%d", port), Addr: netstack.Loopback, Port: port, Server: srv,
+			})
+		}
+		clients = []cluster.Endpoint{ep}
+		inject = func(*faults.Injector) {}
+	default:
+		panic(fmt.Sprintf("exp: unknown serve topology %q", topo))
+	}
+	return shards, clients, inject
+}
+
+// runServe executes one point: fresh kernel, topology, measured run.
+func runServe(seed uint64, topo string, rate float64, plan *faults.Plan, mutate func(*serve.Config)) *serve.Result {
+	k := sim.NewKernel()
+	shards, clients, inject := buildServeTopo(k, topo)
+	if plan != nil {
+		inject(faults.New(k, *plan))
+	}
+	cfg := serveConfig(seed, rate)
+	cfg.Shards, cfg.Clients = shards, clients
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	res := serve.Run(k, cfg)
+	k.Shutdown()
+	return res
+}
+
+// ServeOnce runs one point of the serving benchmark on the named topology
+// ("mcn0", "mcn5", "10gbe", "scaleup"). closedWorkers > 0 switches to the
+// closed-loop driver and ignores rate.
+func ServeOnce(seed uint64, topo string, rate float64, closedWorkers int) *serve.Result {
+	return runServe(seed, topo, rate, nil, func(c *serve.Config) {
+		if closedWorkers > 0 {
+			c.ClosedWorkers = closedWorkers
+			c.RatePerSec = 0
+		}
+	})
+}
+
+// ServeCurve sweeps offered load over every serving topology: the
+// MCN server at both optimization extremes, the 10GbE scale-out rack, and
+// the single scale-up box. Same seed, same curves — every random stream is
+// derived from it.
+func ServeCurve(seed uint64, rates []float64) *ServeCurveResult {
+	if rates == nil {
+		rates = DefaultServeRates
+	}
+	res := &ServeCurveResult{Seed: seed, SLONs: DefaultServeSLONs}
+	for _, topo := range ServeTopos {
+		curve := ServeTopoCurve{Topo: topo}
+		for _, rate := range rates {
+			r := runServe(seed, topo, rate, nil, nil)
+			curve.Points = append(curve.Points, ServePoint{
+				OfferedQPS: rate,
+				Summary:    r.Summary(),
+				Errors:     r.Errors,
+				Unfinished: r.Unfinished,
+				Degraded:   r.Degraded(),
+			})
+		}
+		res.Curves = append(res.Curves, curve)
+	}
+	return res
+}
+
+// String renders the sweep the way the paper presents latency curves:
+// p99 (and p50) against offered load, one block per topology, plus the
+// qps-at-SLO headline.
+func (r *ServeCurveResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "kvstore serving: latency vs offered load (seed %d, %d shards, p99 SLO %.0fus)\n",
+		r.Seed, ServeShards, r.SLONs/1e3)
+	for _, c := range r.Curves {
+		fmt.Fprintf(&b, "%s\n", c.Topo)
+		fmt.Fprintf(&b, "%12s %10s %10s %10s %10s %7s\n", "offered/s", "qps", "p50us", "p99us", "p999us", "ok")
+		for _, p := range c.Points {
+			ok := "yes"
+			if !p.Healthy() {
+				ok = fmt.Sprintf("e%d/u%d", p.Errors, p.Unfinished)
+			}
+			fmt.Fprintf(&b, "%12.0f %10.0f %10.1f %10.1f %10.1f %7s\n",
+				p.OfferedQPS, p.Summary.QPS, p.Summary.P50/1e3, p.Summary.P99/1e3, p.Summary.P999/1e3, ok)
+		}
+	}
+	fmt.Fprintf(&b, "qps at p99<=%.0fus:", r.SLONs/1e3)
+	for _, c := range r.Curves {
+		fmt.Fprintf(&b, "  %s=%.0f", c.Topo, c.QpsAtSLO(r.SLONs))
+	}
+	fmt.Fprintln(&b)
+	return b.String()
+}
+
+// ServeFaultsResult is the DIMM-flap serving run: one shard's DIMM goes
+// offline mid-measurement and the summary attributes the damage.
+type ServeFaultsResult struct {
+	Seed       uint64
+	FlapDimm   string
+	FlapStart  sim.Time
+	FlapEnd    sim.Time
+	Result     *serve.Result
+	Degraded   []int
+	FlapShards []string
+}
+
+// ServeFaults runs the mcn5 serving topology with one DIMM flapping
+// offline during the measured window. The run always terminates (the
+// kernel is driven to a fixed deadline); the flapped shard shows up as
+// degraded — errors, unfinished requests, or a collapsed tail — while the
+// other shards keep serving.
+func ServeFaults(seed uint64) *ServeFaultsResult {
+	const flapDimm = "host/mcn3"
+	cfg := serveConfig(seed, 200e3)
+	// Give the drain room for the RTO-driven recovery after the flap.
+	cfg.Drain = 20 * sim.Millisecond
+
+	k := sim.NewKernel()
+	shards, clients, inject := buildServeTopo(k, "mcn5")
+	cfg.Shards, cfg.Clients = shards, clients
+	// The measured window starts after Connect+Warmup; flap 1ms into it
+	// for 2ms.
+	measStart := k.Now().Add(cfg.Connect + cfg.Warmup)
+	flapStart := measStart.Add(sim.Millisecond)
+	flapEnd := flapStart.Add(2 * sim.Millisecond)
+	inject(faults.New(k, faults.Plan{
+		Seed:      seed,
+		DimmFlaps: []faults.DimmFlap{{Name: flapDimm, Start: flapStart, End: flapEnd}},
+	}))
+	r := serve.Run(k, cfg)
+	k.Shutdown()
+
+	out := &ServeFaultsResult{
+		Seed: seed, FlapDimm: flapDimm, FlapStart: flapStart, FlapEnd: flapEnd,
+		Result: r, Degraded: r.Degraded(),
+	}
+	for _, s := range out.Degraded {
+		out.FlapShards = append(out.FlapShards, r.PerShard[s].Name)
+	}
+	return out
+}
+
+// String renders the faulted run.
+func (r *ServeFaultsResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "serving under a DIMM flap: %s offline [%v, %v) (seed %d)\n",
+		r.FlapDimm, r.FlapStart, r.FlapEnd, r.Seed)
+	b.WriteString(r.Result.String())
+	return b.String()
+}

@@ -29,10 +29,56 @@ const (
 const (
 	StatusOK = iota + 1
 	StatusMiss
+	// StatusBadOp reports an unknown opcode; the request body is consumed
+	// and the connection stays usable.
+	StatusBadOp
+	// StatusTooLarge reports a key or value exceeding MaxKeyBytes /
+	// MaxValueBytes. The server cannot trust the declared body length, so
+	// it closes the connection after responding.
+	StatusTooLarge
 )
 
-const reqHeaderBytes = 7
-const respHeaderBytes = 5
+// Size limits, enforced server-side (and preflighted client-side), in the
+// spirit of memcached's 250-byte keys and 1MB values.
+const (
+	MaxKeyBytes   = 250
+	MaxValueBytes = 1 << 20
+)
+
+// ErrBadOp is returned by the client when the server rejects an opcode.
+var ErrBadOp = fmt.Errorf("kvstore: unknown opcode")
+
+// ErrTooLarge is returned when a key or value exceeds the size limits.
+var ErrTooLarge = fmt.Errorf("kvstore: key or value too large")
+
+// ReqHeaderBytes and RespHeaderBytes are the fixed header sizes; exported
+// so load generators (internal/serve) can speak the wire protocol with
+// pipelined custom framing.
+const (
+	ReqHeaderBytes  = 7
+	RespHeaderBytes = 5
+)
+
+const reqHeaderBytes = ReqHeaderBytes
+const respHeaderBytes = RespHeaderBytes
+
+// AppendRequest appends the wire encoding of one request to buf and
+// returns the extended slice.
+func AppendRequest(buf []byte, op byte, key string, val []byte) []byte {
+	var hdr [reqHeaderBytes]byte
+	hdr[0] = op
+	binary.LittleEndian.PutUint16(hdr[1:3], uint16(len(key)))
+	binary.LittleEndian.PutUint32(hdr[3:7], uint32(len(val)))
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, key...)
+	return append(buf, val...)
+}
+
+// ParseRespHeader decodes a response header into its status and value
+// length.
+func ParseRespHeader(hdr []byte) (status byte, valLen int) {
+	return hdr[0], int(binary.LittleEndian.Uint32(hdr[1:5]))
+}
 
 // Server is one key/value node.
 type Server struct {
@@ -43,6 +89,8 @@ type Server struct {
 
 	// Stats.
 	Gets, Sets, Dels, Misses int64
+	// BadOps and TooLarge count rejected malformed requests.
+	BadOps, TooLarge int64
 }
 
 // NewServer creates a store and starts accepting connections.
@@ -67,6 +115,17 @@ func NewServer(k *sim.Kernel, ep cluster.Endpoint, port uint16) *Server {
 // Bytes returns the resident data size.
 func (s *Server) Bytes() int64 { return s.bytes }
 
+// Preload inserts key/val directly into the store, bypassing the network
+// path — the warm-up an operator (or a serving benchmark) performs before
+// the measured window. It charges no simulated time.
+func (s *Server) Preload(key string, val []byte) {
+	if old, ok := s.data[key]; ok {
+		s.bytes -= int64(len(old))
+	}
+	s.data[key] = val
+	s.bytes += int64(len(val))
+}
+
 // Len returns the number of keys.
 func (s *Server) Len() int { return len(s.data) }
 
@@ -79,6 +138,16 @@ func (s *Server) serve(p *sim.Proc, c *netstack.TCPConn) {
 		op := hdr[0]
 		keyLen := int(binary.LittleEndian.Uint16(hdr[1:3]))
 		valLen := int(binary.LittleEndian.Uint32(hdr[3:7]))
+		if keyLen > MaxKeyBytes || valLen > MaxValueBytes {
+			// The declared body length cannot be trusted (consuming it
+			// could mean gigabytes), so reject and close the connection.
+			s.TooLarge++
+			resp := make([]byte, respHeaderBytes)
+			resp[0] = StatusTooLarge
+			c.Send(p, resp)
+			c.Close(p)
+			return
+		}
 		kb := make([]byte, keyLen)
 		if !readFull(p, c, kb) {
 			return
@@ -124,7 +193,10 @@ func (s *Server) serve(p *sim.Proc, c *netstack.TCPConn) {
 				status = StatusMiss
 			}
 		default:
-			return // protocol error: drop the connection
+			// Unknown opcode: the body was consumed per the (validated)
+			// header, so report the error and keep the connection usable.
+			s.BadOps++
+			status = StatusBadOp
 		}
 		resp := make([]byte, respHeaderBytes+len(out))
 		resp[0] = status
@@ -174,13 +246,13 @@ func (c *Client) Delete(p *sim.Proc, key string) (bool, error) {
 func (c *Client) Close(p *sim.Proc) { c.conn.Close(p) }
 
 func (c *Client) do(p *sim.Proc, op byte, key string, val []byte) ([]byte, byte, error) {
+	// Preflight the size limits so an oversized request fails cleanly
+	// instead of being rejected (and the connection closed) server-side.
+	if len(key) > MaxKeyBytes || len(val) > MaxValueBytes {
+		return nil, StatusTooLarge, ErrTooLarge
+	}
 	start := p.Now()
-	req := make([]byte, reqHeaderBytes+len(key)+len(val))
-	req[0] = op
-	binary.LittleEndian.PutUint16(req[1:3], uint16(len(key)))
-	binary.LittleEndian.PutUint32(req[3:7], uint32(len(val)))
-	copy(req[reqHeaderBytes:], key)
-	copy(req[reqHeaderBytes+len(key):], val)
+	req := AppendRequest(make([]byte, 0, reqHeaderBytes+len(key)+len(val)), op, key, val)
 	if err := c.conn.Send(p, req); err != nil {
 		return nil, 0, err
 	}
@@ -197,6 +269,12 @@ func (c *Client) do(p *sim.Proc, op byte, key string, val []byte) ([]byte, byte,
 		}
 	}
 	c.Lat.ObserveDuration(p.Now().Sub(start))
+	switch hdr[0] {
+	case StatusBadOp:
+		return out, hdr[0], ErrBadOp
+	case StatusTooLarge:
+		return out, hdr[0], ErrTooLarge
+	}
 	return out, hdr[0], nil
 }
 

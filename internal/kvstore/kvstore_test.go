@@ -2,6 +2,7 @@ package kvstore
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
 	"testing"
 
@@ -158,6 +159,75 @@ func TestLargeValues(t *testing.T) {
 	k.RunUntil(sim.Time(10 * sim.Second))
 	if !ok {
 		t.Fatal("256KB value did not round-trip through the SRAM rings")
+	}
+	k.Shutdown()
+}
+
+func TestMalformedRequests(t *testing.T) {
+	k := sim.NewKernel()
+	s := cluster.NewMcnServer(k, 1, core.MCN1.Options())
+	srvEp := cluster.Endpoint{Node: s.Mcns[0].Node, IP: s.Mcns[0].IP}
+	srv := NewServer(k, srvEp, 11211)
+	hostEp := cluster.Endpoint{Node: s.Host.Node, IP: s.Host.HostMcnIP()}
+
+	var failures []string
+	k.Go("client", func(p *sim.Proc) {
+		check := func(cond bool, msg string) {
+			if !cond {
+				failures = append(failures, msg)
+			}
+		}
+
+		// An unknown opcode gets a distinct error status and the
+		// connection stays usable for well-formed requests after it.
+		c, err := Dial(p, hostEp, s.Mcns[0].IP, 11211)
+		if err != nil {
+			panic(err)
+		}
+		raw := c.conn
+		req := AppendRequest(nil, 0x7F, "key", []byte("val"))
+		check(raw.Send(p, req) == nil, "send bad-op request")
+		hdr := make([]byte, RespHeaderBytes)
+		check(readFull(p, raw, hdr), "read bad-op response")
+		st, n := ParseRespHeader(hdr)
+		check(st == StatusBadOp && n == 0, "bad opcode should return StatusBadOp")
+		check(c.Set(p, "alpha", []byte("beta")) == nil, "connection unusable after bad op")
+		v, ok, err := c.Get(p, "alpha")
+		check(err == nil && ok && string(v) == "beta", "get after bad op")
+		c.Close(p)
+
+		// The typed client preflights oversized keys/values.
+		c2, err := Dial(p, hostEp, s.Mcns[0].IP, 11211)
+		if err != nil {
+			panic(err)
+		}
+		check(c2.Set(p, string(make([]byte, MaxKeyBytes+1)), nil) == ErrTooLarge,
+			"oversized key should preflight ErrTooLarge")
+		check(c2.Set(p, "k", make([]byte, MaxValueBytes+1)) == ErrTooLarge,
+			"oversized value should preflight ErrTooLarge")
+
+		// A wire-level oversized header (a length the server must not
+		// trust) is rejected with StatusTooLarge and the connection is
+		// closed without consuming the declared body.
+		raw2 := c2.conn
+		var evil [ReqHeaderBytes]byte
+		evil[0] = OpSet
+		binary.LittleEndian.PutUint16(evil[1:3], 4)
+		binary.LittleEndian.PutUint32(evil[3:7], uint32(MaxValueBytes+1))
+		check(raw2.Send(p, evil[:]) == nil, "send oversized header")
+		hdr2 := make([]byte, RespHeaderBytes)
+		check(readFull(p, raw2, hdr2), "read too-large response")
+		st2, _ := ParseRespHeader(hdr2)
+		check(st2 == StatusTooLarge, "oversized request should return StatusTooLarge")
+		_, open := raw2.Recv(p, make([]byte, 1))
+		check(!open, "server should close the connection after StatusTooLarge")
+	})
+	k.RunUntil(sim.Time(5 * sim.Second))
+	for _, f := range failures {
+		t.Error(f)
+	}
+	if srv.BadOps != 1 || srv.TooLarge != 1 {
+		t.Fatalf("server counters badops=%d toolarge=%d", srv.BadOps, srv.TooLarge)
 	}
 	k.Shutdown()
 }

@@ -1,0 +1,537 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/mcn-arch/mcn/internal/cluster"
+	"github.com/mcn-arch/mcn/internal/kvstore"
+	"github.com/mcn-arch/mcn/internal/netstack"
+	"github.com/mcn-arch/mcn/internal/sim"
+	"github.com/mcn-arch/mcn/internal/stats"
+)
+
+const (
+	opGet = kvstore.OpGet
+	opSet = kvstore.OpSet
+)
+
+// Shard is one kvstore target the router can address.
+type Shard struct {
+	// Name labels the shard in summaries ("host/mcn3", "node5", ...).
+	Name string
+	Addr netstack.IP
+	Port uint16
+	// Server, when set, lets Run preload the keyspace directly into the
+	// store before the clock starts (the operator warm-up every serving
+	// benchmark performs).
+	Server *kvstore.Server
+}
+
+// Config describes one load-generation run.
+type Config struct {
+	// Seed keys every random stream (arrivals, key popularity, op mix).
+	// Same seed, same topology: bit-identical run.
+	Seed     uint64
+	Workload Workload
+	// Shards are the kvstore servers the router spreads keys over;
+	// Clients are the endpoints the load generators run on. Every client
+	// keeps one pipelined connection per shard.
+	Shards  []Shard
+	Clients []cluster.Endpoint
+	// Generators is the number of open-loop arrival processes per client
+	// endpoint (default 1); the aggregate RatePerSec is split evenly.
+	Generators int
+	// RatePerSec is the aggregate open-loop offered load. Ignored when
+	// ClosedWorkers is set.
+	RatePerSec float64
+	// ClosedWorkers switches to the closed-loop driver: this many workers
+	// per client endpoint, each issuing the next request as soon as the
+	// previous one completes.
+	ClosedWorkers int
+	// Inflight caps pipelined requests per shard connection (default 16).
+	Inflight int
+	// VNodes is the router's virtual-node count per shard (default 64).
+	VNodes int
+	// Connect is the grace period for establishing every shard
+	// connection before the load starts (cold-start TCP handshakes ride
+	// through ARP resolution and retransmission timeouts, which can take
+	// tens of simulated milliseconds; an idle grace period costs no
+	// simulation events). Warmup requests are issued but not measured;
+	// Measure is the recorded window; Drain lets in-flight tails
+	// complete before the run is cut off and stragglers are counted as
+	// unfinished.
+	Connect, Warmup, Measure, Drain sim.Duration
+}
+
+func (c Config) withDefaults() Config {
+	c.Workload = c.Workload.withDefaults()
+	if c.Generators == 0 {
+		c.Generators = 1
+	}
+	if c.Inflight == 0 {
+		c.Inflight = 16
+	}
+	if c.Connect == 0 {
+		c.Connect = 30 * sim.Millisecond
+	}
+	if c.Warmup == 0 {
+		c.Warmup = sim.Millisecond
+	}
+	if c.Measure == 0 {
+		c.Measure = 5 * sim.Millisecond
+	}
+	if c.Drain == 0 {
+		c.Drain = 2 * sim.Millisecond
+	}
+	return c
+}
+
+// Deadline returns the total simulated span of a run.
+func (c Config) Deadline() sim.Duration { return c.Connect + c.Warmup + c.Measure + c.Drain }
+
+// request is one in-flight operation.
+type request struct {
+	op      byte
+	key     int
+	shard   int
+	arrival sim.Time    // when the workload generated it (open-loop intent time)
+	sent    sim.Time    // when it reached the connection's send path
+	done    *sim.Signal // closed-loop completion, nil for open loop
+}
+
+// ShardStats is one shard's slice of a run.
+type ShardStats struct {
+	Shard  int
+	Name   string
+	Issued int64 // requests routed to the shard inside the measured window
+	N      int64 // completed successfully
+	Errors int64
+	// Unfinished counts in-window requests still queued or in flight when
+	// the run was cut off (a hung or offline shard shows up here).
+	Unfinished int64
+	// Lat is the shard's total-latency histogram (measured window only).
+	Lat stats.HDR
+}
+
+// Result is the telemetry of one run; histograms cover only requests that
+// arrived inside the measured window (warmup-trimmed).
+type Result struct {
+	Seed          uint64
+	OfferedQPS    float64 // 0 for closed-loop runs
+	ClosedWorkers int
+	N             int64 // successful in-window completions
+	Errors        int64
+	Unfinished    int64
+	QPS           float64 // N / Measure
+	// Total = Queue + Service per request: Queue is arrival to the
+	// connection send path (router queue + pipeline-slot wait), Service
+	// is send to response (network + server time).
+	Total, Queue, Service stats.HDR
+	PerShard              []*ShardStats
+}
+
+// Summary is the warmup-trimmed headline of a run; latencies are in
+// nanoseconds.
+type Summary struct {
+	N                        int64
+	QPS                      float64
+	P50, P95, P99, P999, Max float64
+}
+
+// Summary extracts the headline numbers.
+func (r *Result) Summary() Summary {
+	return Summary{
+		N:    r.N,
+		QPS:  r.QPS,
+		P50:  r.Total.Quantile(0.50),
+		P95:  r.Total.Quantile(0.95),
+		P99:  r.Total.Quantile(0.99),
+		P999: r.Total.Quantile(0.999),
+		Max:  float64(r.Total.Max()),
+	}
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("qps=%.0f p50=%.1fus p95=%.1fus p99=%.1fus p999=%.1fus max=%.1fus (n=%d)",
+		s.QPS, s.P50/1e3, s.P95/1e3, s.P99/1e3, s.P999/1e3, s.Max/1e3, s.N)
+}
+
+// degradedFactor flags a shard whose worst latency is this many times the
+// median per-shard maximum — the signature of a DIMM or link that went
+// away mid-run and recovered through retransmission timeouts.
+const degradedFactor = 8
+
+// Degraded returns the shards that failed requests, left requests
+// unfinished, or whose tail collapsed relative to the rest of the fleet.
+func (r *Result) Degraded() []int {
+	var maxes []int64
+	for _, ss := range r.PerShard {
+		if ss.N > 0 {
+			maxes = append(maxes, ss.Lat.Max())
+		}
+	}
+	var med int64
+	if len(maxes) > 0 {
+		sort.Slice(maxes, func(i, j int) bool { return maxes[i] < maxes[j] })
+		med = maxes[len(maxes)/2]
+	}
+	var out []int
+	for _, ss := range r.PerShard {
+		if ss.Errors > 0 || ss.Unfinished > 0 || (med > 0 && ss.Lat.Max() >= degradedFactor*med) {
+			out = append(out, ss.Shard)
+		}
+	}
+	return out
+}
+
+// String renders the run as a table.
+func (r *Result) String() string {
+	var b strings.Builder
+	mode := fmt.Sprintf("open-loop %.0f req/s offered", r.OfferedQPS)
+	if r.ClosedWorkers > 0 {
+		mode = fmt.Sprintf("closed-loop %d workers", r.ClosedWorkers)
+	}
+	fmt.Fprintf(&b, "serve run (seed %d, %s): %s\n", r.Seed, mode, r.Summary())
+	fmt.Fprintf(&b, "  queue   p50=%.1fus p99=%.1fus | service p50=%.1fus p99=%.1fus\n",
+		r.Queue.Quantile(0.5)/1e3, r.Queue.Quantile(0.99)/1e3,
+		r.Service.Quantile(0.5)/1e3, r.Service.Quantile(0.99)/1e3)
+	if r.Errors > 0 || r.Unfinished > 0 {
+		fmt.Fprintf(&b, "  errors=%d unfinished=%d\n", r.Errors, r.Unfinished)
+	}
+	for _, ss := range r.PerShard {
+		fmt.Fprintf(&b, "  shard %d %-12s n=%-6d p99=%9.1fus max=%9.1fus",
+			ss.Shard, ss.Name, ss.N, ss.Lat.Quantile(0.99)/1e3, float64(ss.Lat.Max())/1e3)
+		if ss.Errors > 0 || ss.Unfinished > 0 {
+			fmt.Fprintf(&b, " errors=%d unfinished=%d", ss.Errors, ss.Unfinished)
+		}
+		fmt.Fprintln(&b)
+	}
+	if deg := r.Degraded(); len(deg) > 0 {
+		names := make([]string, len(deg))
+		for i, s := range deg {
+			names[i] = fmt.Sprintf("%d (%s)", s, r.PerShard[s].Name)
+		}
+		fmt.Fprintf(&b, "  degraded shards: %s\n", strings.Join(names, ", "))
+	}
+	return b.String()
+}
+
+// bench is the per-run orchestration state.
+type bench struct {
+	k        *sim.Kernel
+	cfg      Config
+	keys     []string
+	keyShard []int
+	conns    [][]*shardConn // [client][shard]
+	res      *Result
+
+	measStart, measEnd sim.Time
+}
+
+// shardConn is one client's pipelined connection to one shard: requests
+// queue here after routing, a sender writes them onto the wire within the
+// in-flight window, and a receiver matches responses in FIFO order.
+type shardConn struct {
+	b           *bench
+	shard       int
+	client      cluster.Endpoint
+	q           *sim.Queue[*request]
+	inflight    *sim.Resource
+	outstanding []*request
+	conn        *netstack.TCPConn
+	dead        bool
+	setVal      []byte
+}
+
+// Run executes one load-generation run on k: preload the keyspace, start
+// the shard connections and drivers, run the kernel to the configured
+// deadline, and collect the telemetry. Run owns the kernel's event loop
+// for the duration; the caller still owns Shutdown. Every stream is
+// seeded, so two Runs with the same config are bit-identical.
+func Run(k *sim.Kernel, cfg Config) *Result {
+	cfg = cfg.withDefaults()
+	if len(cfg.Shards) == 0 || len(cfg.Clients) == 0 {
+		panic("serve: config needs at least one shard and one client")
+	}
+	w := cfg.Workload
+	router := NewRouter(len(cfg.Shards), cfg.VNodes)
+	base := k.Now()
+
+	b := &bench{
+		k:         k,
+		cfg:       cfg,
+		keys:      make([]string, w.Keys),
+		keyShard:  make([]int, w.Keys),
+		measStart: base.Add(cfg.Connect + cfg.Warmup),
+		measEnd:   base.Add(cfg.Connect + cfg.Warmup + cfg.Measure),
+		res:       &Result{Seed: cfg.Seed, OfferedQPS: cfg.RatePerSec, ClosedWorkers: cfg.ClosedWorkers},
+	}
+	if cfg.ClosedWorkers > 0 {
+		b.res.OfferedQPS = 0
+	}
+
+	// Resolve every key's shard once, and preload the stores so the
+	// measured window runs at a warm 100% hit rate.
+	val := make([]byte, w.ValueBytes)
+	for i := range b.keys {
+		b.keys[i] = w.Key(i)
+		b.keyShard[i] = router.Shard(b.keys[i])
+		if srv := cfg.Shards[b.keyShard[i]].Server; srv != nil {
+			srv.Preload(b.keys[i], val)
+		}
+	}
+	for si := range cfg.Shards {
+		b.res.PerShard = append(b.res.PerShard, &ShardStats{Shard: si, Name: cfg.Shards[si].Name})
+	}
+
+	// One pipelined connection per (client, shard).
+	b.conns = make([][]*shardConn, len(cfg.Clients))
+	for ci, cl := range cfg.Clients {
+		b.conns[ci] = make([]*shardConn, len(cfg.Shards))
+		for si := range cfg.Shards {
+			sc := &shardConn{
+				b: b, shard: si, client: cl,
+				q:        sim.NewQueue[*request](k, 0),
+				inflight: k.NewResource(cfg.Inflight),
+				setVal:   val,
+			}
+			b.conns[ci][si] = sc
+			k.Go(fmt.Sprintf("serve/c%d/s%d", ci, si), sc.run)
+		}
+	}
+
+	// Let every connection establish before the load starts: cold-start
+	// handshakes can spend tens of milliseconds in ARP resolution and
+	// SYN retransmission, which would otherwise swallow a short measured
+	// window. The grace period is idle once the handshakes finish, so it
+	// costs no simulation events.
+	k.RunUntil(base.Add(cfg.Connect))
+
+	// Drivers.
+	zf := newZipfFor(w)
+	if cfg.ClosedWorkers > 0 {
+		for ci := range cfg.Clients {
+			for wi := 0; wi < cfg.ClosedWorkers; wi++ {
+				gen := w.newGenerator(zf, cfg.Seed, fmt.Sprintf("worker/%d/%d", ci, wi))
+				ci := ci
+				k.Go(fmt.Sprintf("serve/worker%d.%d", ci, wi), func(p *sim.Proc) {
+					b.closedWorker(p, ci, gen)
+				})
+			}
+		}
+	} else {
+		if cfg.RatePerSec <= 0 {
+			panic("serve: open-loop run needs RatePerSec > 0")
+		}
+		share := cfg.RatePerSec / float64(len(cfg.Clients)*cfg.Generators)
+		for ci := range cfg.Clients {
+			for gi := 0; gi < cfg.Generators; gi++ {
+				gen := w.newGenerator(zf, cfg.Seed, fmt.Sprintf("gen/%d/%d", ci, gi))
+				arr := rng{state: streamSeed(cfg.Seed, fmt.Sprintf("arrivals/%d/%d", ci, gi))}
+				ci := ci
+				k.Go(fmt.Sprintf("serve/gen%d.%d", ci, gi), func(p *sim.Proc) {
+					b.openLoop(p, ci, gen, arr, share)
+				})
+			}
+		}
+	}
+
+	k.RunUntil(base.Add(cfg.Deadline()))
+	b.collect()
+	return b.res
+}
+
+// newZipfFor builds the (shared, read-only) Zipf tables when needed.
+func newZipfFor(w Workload) *zipf {
+	if w.Popularity != Zipfian {
+		return nil
+	}
+	return newZipf(w.Keys, w.ZipfTheta)
+}
+
+// openLoop issues requests at Poisson arrivals of the given rate,
+// regardless of completions — offered load stays constant even when the
+// shards fall behind, which is what exposes the tail.
+func (b *bench) openLoop(p *sim.Proc, ci int, gen *generator, arr rng, rate float64) {
+	mean := 1 / rate // seconds
+	for {
+		p.Sleep(sim.Duration(arr.expDuration(mean) * float64(sim.Second)))
+		now := p.Now()
+		if now >= b.measEnd {
+			return
+		}
+		op, key := gen.next()
+		b.enqueue(p, ci, &request{op: op, key: key, arrival: now})
+	}
+}
+
+// closedWorker issues the next request as soon as the previous one
+// completes (throughput self-limits to 1/latency per worker).
+func (b *bench) closedWorker(p *sim.Proc, ci int, gen *generator) {
+	for {
+		now := p.Now()
+		if now >= b.measEnd {
+			return
+		}
+		op, key := gen.next()
+		req := &request{op: op, key: key, arrival: now, done: b.k.NewSignal()}
+		b.enqueue(p, ci, req)
+		req.done.Wait(p)
+	}
+}
+
+// enqueue routes one request to its shard connection.
+func (b *bench) enqueue(p *sim.Proc, ci int, req *request) {
+	req.shard = b.keyShard[req.key]
+	if req.arrival >= b.measStart && req.arrival < b.measEnd {
+		b.res.PerShard[req.shard].Issued++
+	}
+	b.conns[ci][req.shard].q.Put(p, req)
+}
+
+// run is the sender side of a shard connection: dial once, then drain the
+// routed queue onto the wire within the pipelining window.
+func (sc *shardConn) run(p *sim.Proc) {
+	sh := sc.b.cfg.Shards[sc.shard]
+	conn, err := sc.client.Node.Stack.Connect(p, sh.Addr, sh.Port)
+	if err != nil {
+		sc.dead = true
+	} else {
+		sc.conn = conn
+		sc.b.k.Go(fmt.Sprintf("%s/rx", p.Name()), sc.receive)
+	}
+	var buf []byte
+	for {
+		req, ok := sc.q.Get(p)
+		if !ok {
+			return
+		}
+		if sc.dead {
+			sc.fail(req)
+			continue
+		}
+		sc.inflight.Acquire(p)
+		if sc.dead {
+			sc.inflight.Release()
+			sc.fail(req)
+			continue
+		}
+		req.sent = p.Now()
+		var val []byte
+		if req.op == opSet {
+			val = sc.setVal
+		}
+		buf = kvstore.AppendRequest(buf[:0], req.op, sc.b.keys[req.key], val)
+		// FIFO-match bookkeeping must precede Send: on loopback the
+		// response can be delivered before Send returns.
+		sc.outstanding = append(sc.outstanding, req)
+		if err := sc.conn.Send(p, buf); err != nil {
+			// The receiver drains outstanding (including this request)
+			// when its Recv fails.
+			sc.dead = true
+		}
+	}
+}
+
+// receive matches responses to outstanding requests in FIFO order and
+// records the per-phase latencies.
+func (sc *shardConn) receive(p *sim.Proc) {
+	hdr := make([]byte, kvstore.RespHeaderBytes)
+	scratch := make([]byte, 64<<10)
+	for {
+		if !readFull(p, sc.conn, hdr) {
+			sc.dead = true
+			sc.drainOutstanding()
+			return
+		}
+		status, n := kvstore.ParseRespHeader(hdr)
+		for n > 0 {
+			want := n
+			if want > len(scratch) {
+				want = len(scratch)
+			}
+			got, ok := sc.conn.Recv(p, scratch[:want])
+			if !ok {
+				sc.dead = true
+				sc.drainOutstanding()
+				return
+			}
+			n -= got
+		}
+		req := sc.outstanding[0]
+		sc.outstanding = sc.outstanding[1:]
+		sc.complete(req, status == kvstore.StatusOK || status == kvstore.StatusMiss, p.Now())
+		sc.inflight.Release()
+	}
+}
+
+// complete records one finished request.
+func (sc *shardConn) complete(req *request, ok bool, now sim.Time) {
+	if req.done != nil {
+		req.done.Notify()
+	}
+	if req.arrival < sc.b.measStart || req.arrival >= sc.b.measEnd {
+		return
+	}
+	ss := sc.b.res.PerShard[req.shard]
+	if !ok {
+		ss.Errors++
+		sc.b.res.Errors++
+		return
+	}
+	ss.N++
+	sc.b.res.N++
+	total := now.Sub(req.arrival)
+	ss.Lat.RecordDuration(total)
+	sc.b.res.Total.RecordDuration(total)
+	sc.b.res.Queue.RecordDuration(req.sent.Sub(req.arrival))
+	sc.b.res.Service.RecordDuration(now.Sub(req.sent))
+}
+
+// fail records a request that could not be sent (dead connection).
+func (sc *shardConn) fail(req *request) {
+	if req.done != nil {
+		req.done.Notify()
+	}
+	if req.arrival >= sc.b.measStart && req.arrival < sc.b.measEnd {
+		sc.b.res.PerShard[req.shard].Errors++
+		sc.b.res.Errors++
+	}
+}
+
+// drainOutstanding fails every request still awaiting a response and
+// releases their pipeline slots.
+func (sc *shardConn) drainOutstanding() {
+	for _, req := range sc.outstanding {
+		sc.fail(req)
+		sc.inflight.Release()
+	}
+	sc.outstanding = nil
+}
+
+// collect finalizes the result after the kernel reached the deadline.
+func (b *bench) collect() {
+	for _, ss := range b.res.PerShard {
+		ss.Unfinished = ss.Issued - ss.N - ss.Errors
+		if ss.Unfinished < 0 {
+			ss.Unfinished = 0
+		}
+		b.res.Unfinished += ss.Unfinished
+	}
+	b.res.QPS = float64(b.res.N) / b.cfg.Measure.Seconds()
+}
+
+// readFull reads exactly len(buf) bytes; false means the stream ended.
+func readFull(p *sim.Proc, c *netstack.TCPConn, buf []byte) bool {
+	got := 0
+	for got < len(buf) {
+		n, ok := c.Recv(p, buf[got:])
+		got += n
+		if !ok && got < len(buf) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,62 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRouterBalance(t *testing.T) {
+	const shards, keys = 8, 20000
+	r := NewRouter(shards, 0)
+	counts := make([]int, shards)
+	for i := 0; i < keys; i++ {
+		counts[r.Shard(fmt.Sprintf("key-%08d", i))]++
+	}
+	mean := float64(keys) / shards
+	for s, c := range counts {
+		if float64(c) < 0.5*mean || float64(c) > 1.6*mean {
+			t.Errorf("shard %d holds %d keys, mean %.0f: ring too uneven", s, c, mean)
+		}
+	}
+}
+
+func TestRouterDeterministic(t *testing.T) {
+	a, b := NewRouter(5, 0), NewRouter(5, 0)
+	for i := 0; i < 1000; i++ {
+		k := fmt.Sprintf("key-%08d", i)
+		if a.Shard(k) != b.Shard(k) {
+			t.Fatalf("router is not deterministic for %q", k)
+		}
+	}
+}
+
+func TestRouterLimitedRemapping(t *testing.T) {
+	const keys = 20000
+	a, b := NewRouter(8, 0), NewRouter(9, 0)
+	moved := 0
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("key-%08d", i)
+		sa, sb := a.Shard(k), b.Shard(k)
+		if sb == sa {
+			continue
+		}
+		moved++
+		// Consistent hashing only moves keys onto the new shard.
+		if sb != 8 {
+			t.Fatalf("key %q moved between surviving shards (%d -> %d)", k, sa, sb)
+		}
+	}
+	// Expect ~1/9 of the keyspace to move; far less than a modulo rehash.
+	if frac := float64(moved) / keys; frac > 0.25 {
+		t.Errorf("adding one shard remapped %.0f%% of keys, want ~11%%", frac*100)
+	}
+}
+
+func TestRouterSingleShard(t *testing.T) {
+	r := NewRouter(1, 4)
+	for i := 0; i < 100; i++ {
+		if s := r.Shard(fmt.Sprintf("k%d", i)); s != 0 {
+			t.Fatalf("single-shard router returned shard %d", s)
+		}
+	}
+}

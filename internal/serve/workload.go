@@ -1,0 +1,181 @@
+// Package serve is the load-generation and tail-latency subsystem for
+// running MCN as a serving tier (the paper's Discussion: one MCN server
+// replacing a rack of memcached nodes). It provides
+//
+//   - workload generators: a keyspace with Zipfian or uniform key
+//     popularity, a configurable GET/SET mix, and two request drivers — an
+//     open-loop Poisson arrival process (offered load is independent of
+//     completions, the shape production traffic has) and a closed-loop
+//     worker pool;
+//   - a client-side consistent-hash shard router that spreads the keyspace
+//     across every kvstore shard (one per MCN DIMM, or per cluster node)
+//     with per-shard connection reuse and in-flight pipelining; and
+//   - latency telemetry: log-bucketed HDR histograms (stats.HDR) with
+//     per-phase attribution (queue wait vs service time) and a
+//     warmup-trimmed summary (qps, p50, p95, p99, p999, max).
+//
+// Everything is seeded from the simulation (splitmix64 streams per
+// generator, no wall clock anywhere), so a run is bit-reproducible: same
+// seed, same topology, same arrivals, same tail.
+package serve
+
+import (
+	"fmt"
+	"math"
+)
+
+// rng is a splitmix64 generator, the same scheme internal/faults uses for
+// its decision streams: every generator owns a stream derived from the run
+// seed and a site name, so streams stay independent of scheduling order.
+type rng struct{ state uint64 }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float64 returns a uniform sample in [0, 1).
+func (r *rng) float64() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+// expDuration returns an exponential sample with the given mean, in the
+// caller's unit (used for Poisson inter-arrival times).
+func (r *rng) expDuration(mean float64) float64 {
+	u := r.float64()
+	return -mean * math.Log(1-u)
+}
+
+// streamSeed derives a per-stream seed from the run seed and a stream name
+// (FNV-1a folded through one splitmix step), mirroring faults.siteSeed.
+func streamSeed(seed uint64, name string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint64(name[i])) * 1099511628211
+	}
+	r := rng{state: seed ^ h}
+	return r.next()
+}
+
+// Popularity selects the key-popularity distribution.
+type Popularity int
+
+const (
+	// Zipfian popularity with parameter Workload.ZipfTheta: a few keys
+	// absorb most of the traffic, the shape measured on production
+	// memcached pools.
+	Zipfian Popularity = iota
+	// Uniform popularity: every key equally likely.
+	Uniform
+)
+
+func (p Popularity) String() string {
+	if p == Uniform {
+		return "uniform"
+	}
+	return "zipfian"
+}
+
+// Workload describes the request stream of one run.
+type Workload struct {
+	// Keys is the number of distinct keys; ValueBytes the size of every
+	// value.
+	Keys       int
+	ValueBytes int
+	// Popularity picks the key distribution; ZipfTheta is the Zipfian
+	// skew (0 means the YCSB default 0.99).
+	Popularity Popularity
+	ZipfTheta  float64
+	// GetFrac is the fraction of GETs; the rest are SETs (0 means the
+	// memcached-classic 0.95).
+	GetFrac float64
+}
+
+// withDefaults fills zero fields.
+func (w Workload) withDefaults() Workload {
+	if w.Keys == 0 {
+		w.Keys = 10000
+	}
+	if w.ValueBytes == 0 {
+		w.ValueBytes = 128
+	}
+	if w.ZipfTheta == 0 {
+		w.ZipfTheta = 0.99
+	}
+	if w.GetFrac == 0 {
+		w.GetFrac = 0.95
+	}
+	return w
+}
+
+// Key renders the i-th key. Keys are fixed-width so request sizes do not
+// depend on the key index.
+func (w Workload) Key(i int) string { return fmt.Sprintf("key-%08d", i) }
+
+// zipf draws ranks 0..n-1 with P(rank) ∝ 1/(rank+1)^theta using the
+// Gray et al. quantile-function method YCSB popularized: zeta(n) is
+// precomputed once, each sample is O(1).
+type zipf struct {
+	n                 int
+	theta             float64
+	alpha, zetan, eta float64
+	zeta2             float64
+}
+
+func newZipf(n int, theta float64) *zipf {
+	z := &zipf{n: n, theta: theta}
+	for i := 1; i <= n; i++ {
+		z.zetan += 1 / math.Pow(float64(i), theta)
+	}
+	z.zeta2 = 1 + 1/math.Pow(2, theta)
+	z.alpha = 1 / (1 - theta)
+	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - z.zeta2/z.zetan)
+	return z
+}
+
+func (z *zipf) rank(r *rng) int {
+	u := r.float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < z.zeta2 {
+		return 1
+	}
+	return int(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+}
+
+// generator turns one rng stream into a deterministic request stream.
+type generator struct {
+	w Workload
+	z *zipf // shared, read-only after construction
+	r rng
+}
+
+func (w Workload) newGenerator(z *zipf, seed uint64, name string) *generator {
+	return &generator{w: w, z: z, r: rng{state: streamSeed(seed, name)}}
+}
+
+// scramble spreads adjacent popularity ranks across the keyspace (YCSB's
+// scrambled Zipfian) so the hottest keys do not all land on one shard.
+func scramble(rank, n int) int {
+	h := uint64(14695981039346656037)
+	for i := 0; i < 8; i++ {
+		h = (h ^ uint64(rank>>(8*i))&0xff) * 1099511628211
+	}
+	return int(h % uint64(n))
+}
+
+// next draws one request: the operation and the key index.
+func (g *generator) next() (op byte, keyIdx int) {
+	if g.w.Popularity == Uniform {
+		keyIdx = int(g.r.next() % uint64(g.w.Keys))
+	} else {
+		keyIdx = scramble(g.z.rank(&g.r), g.w.Keys)
+	}
+	if g.r.float64() < g.w.GetFrac {
+		return opGet, keyIdx
+	}
+	return opSet, keyIdx
+}

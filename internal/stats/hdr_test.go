@@ -1,0 +1,180 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"github.com/mcn-arch/mcn/internal/sim"
+)
+
+// splitmix64 for reproducible test streams (no math/rand global state).
+type testRng struct{ state uint64 }
+
+func (r *testRng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *testRng) float64() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+func relErr(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / want
+}
+
+func TestHDRQuantileUniform(t *testing.T) {
+	var h HDR
+	const n = 200000
+	r := testRng{state: 1}
+	for i := 0; i < n; i++ {
+		h.Record(int64(r.next() % 1000000))
+	}
+	if h.N() != n {
+		t.Fatalf("n=%d", h.N())
+	}
+	for _, tc := range []struct{ q, want float64 }{
+		{0.50, 500000}, {0.90, 900000}, {0.99, 990000}, {0.999, 999000},
+	} {
+		got := h.Quantile(tc.q)
+		// Bucket resolution is 1/64 (~1.6%); allow sampling noise on top.
+		if relErr(got, tc.want) > 0.03 {
+			t.Errorf("p%g = %.0f, want ~%.0f", tc.q*100, got, tc.want)
+		}
+	}
+	if relErr(h.Mean(), 500000) > 0.02 {
+		t.Errorf("mean = %.0f, want ~500000", h.Mean())
+	}
+}
+
+func TestHDRQuantileExponential(t *testing.T) {
+	var h HDR
+	const n = 200000
+	const mean = 50000.0
+	r := testRng{state: 7}
+	for i := 0; i < n; i++ {
+		u := r.float64()
+		h.Record(int64(-mean * math.Log(1-u)))
+	}
+	// Exponential quantiles: -mean * ln(1-q).
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		want := -mean * math.Log(1-q)
+		if got := h.Quantile(q); relErr(got, want) > 0.05 {
+			t.Errorf("p%g = %.0f, want ~%.0f", q*100, got, want)
+		}
+	}
+}
+
+func TestHDRExactSmallValues(t *testing.T) {
+	// Values below 2^hdrSubBits have unit-resolution buckets: quantiles are
+	// exact.
+	var h HDR
+	for v := int64(1); v <= 10; v++ {
+		h.Record(v)
+	}
+	if got := h.Quantile(0.5); got != 5 {
+		t.Errorf("p50 = %g, want 5", got)
+	}
+	if got := h.Quantile(1.0); got != 10 {
+		t.Errorf("p100 = %g, want 10", got)
+	}
+	if h.Min() != 1 || h.Max() != 10 {
+		t.Errorf("min/max = %d/%d", h.Min(), h.Max())
+	}
+}
+
+func TestHDRMergeAssociative(t *testing.T) {
+	mk := func(seed uint64, n int, span int64) *HDR {
+		h := &HDR{}
+		r := testRng{state: seed}
+		for i := 0; i < n; i++ {
+			h.Record(int64(r.next() % uint64(span)))
+		}
+		return h
+	}
+	a, b, c := mk(1, 5000, 1000), mk(2, 7000, 1000000), mk(3, 3000, 100)
+
+	// (a+b)+c vs a+(b+c), built from fresh copies.
+	left := &HDR{}
+	left.Merge(a)
+	left.Merge(b)
+	left.Merge(c)
+	bc := &HDR{}
+	bc.Merge(b)
+	bc.Merge(c)
+	right := &HDR{}
+	right.Merge(a)
+	right.Merge(bc)
+
+	if left.N() != right.N() || left.Min() != right.Min() || left.Max() != right.Max() {
+		t.Fatalf("merge mismatch: n %d/%d min %d/%d max %d/%d",
+			left.N(), right.N(), left.Min(), right.Min(), left.Max(), right.Max())
+	}
+	for _, q := range []float64{0, 0.1, 0.5, 0.9, 0.99, 0.999, 1} {
+		if l, r := left.Quantile(q), right.Quantile(q); l != r {
+			t.Errorf("q=%g: %.0f vs %.0f", q, l, r)
+		}
+	}
+	if left.Mean() != right.Mean() {
+		t.Errorf("mean %g vs %g", left.Mean(), right.Mean())
+	}
+}
+
+func TestHDRMergePreservesCounts(t *testing.T) {
+	a, b := &HDR{}, &HDR{}
+	a.Record(10)
+	a.Record(20)
+	b.Record(1 << 40)
+	a.Merge(b)
+	if a.N() != 3 || a.Max() != 1<<40 || a.Min() != 10 {
+		t.Fatalf("n=%d min=%d max=%d", a.N(), a.Min(), a.Max())
+	}
+	// p100 must return the exact tracked max even though the top bucket is
+	// ~1.6% wide.
+	if got := a.Quantile(1.0); got != float64(int64(1)<<40) {
+		t.Errorf("p100 = %g", got)
+	}
+}
+
+func TestHDREmpty(t *testing.T) {
+	var h HDR
+	if h.N() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty quantile(%g) = %g", q, got)
+		}
+	}
+	// Merging an empty histogram (or nil) is a no-op.
+	h.Merge(nil)
+	h.Merge(&HDR{})
+	if h.N() != 0 {
+		t.Fatal("merge of empties should stay empty")
+	}
+	var dst HDR
+	one := &HDR{}
+	one.Record(5)
+	dst.Merge(one)
+	if dst.N() != 1 || dst.Quantile(0.5) != 5 {
+		t.Fatalf("merge into empty: n=%d p50=%g", dst.N(), dst.Quantile(0.5))
+	}
+}
+
+func TestHDRRecordDuration(t *testing.T) {
+	var h HDR
+	h.RecordDuration(1500 * sim.Nanosecond)
+	h.RecordDuration(2 * sim.Microsecond)
+	if h.N() != 2 || h.Min() != 1500 || h.Max() != 2000 {
+		t.Fatalf("n=%d min=%d max=%d", h.N(), h.Min(), h.Max())
+	}
+	// Negative and zero clamp to 0.
+	h.Record(-5)
+	if h.Min() != 0 {
+		t.Fatalf("negative record should clamp to 0, min=%d", h.Min())
+	}
+}

@@ -7,6 +7,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 
 	"github.com/mcn-arch/mcn/internal/sim"
@@ -135,6 +136,157 @@ func (h *Histogram) ensureSorted() {
 func (h *Histogram) String() string {
 	return fmt.Sprintf("n=%d mean=%.3g p50=%.3g p99=%.3g max=%.3g",
 		h.N(), h.Mean(), h.Median(), h.Quantile(0.99), h.Max())
+}
+
+// HDR is a log-bucketed high-dynamic-range histogram in the HdrHistogram
+// style: non-negative integer values (latencies in nanoseconds, sizes in
+// bytes) are binned into 2^hdrSubBits sub-buckets per power of two, which
+// bounds the relative quantile error at 1/2^hdrSubBits (~1.6%) across the
+// whole int64 range with a fixed ~30KB of counters. Unlike Histogram it
+// never stores raw samples, so millions of observations cost nothing, and
+// two HDRs merge exactly (bucket-wise sum) — the property serving
+// benchmarks need to combine per-shard tails into a fleet-wide tail. The
+// zero value is an empty histogram ready for use.
+type HDR struct {
+	counts   []int64
+	n        int64
+	sum      float64
+	min, max int64
+}
+
+// hdrSubBits sets the sub-bucket resolution: 2^6 = 64 sub-buckets per
+// octave.
+const hdrSubBits = 6
+
+// hdrBuckets is the counter array size: values up to 2^63-1 land in bucket
+// (63-hdrSubBits-1+1)<<hdrSubBits + 63 at most.
+const hdrBuckets = (64 - hdrSubBits) << hdrSubBits
+
+// hdrIndex maps a value to its bucket.
+func hdrIndex(v int64) int {
+	if v < 1<<hdrSubBits {
+		return int(v)
+	}
+	e := bits.Len64(uint64(v)) - hdrSubBits - 1
+	return e<<hdrSubBits + int(v>>uint(e))
+}
+
+// hdrMid returns the representative (midpoint) value of a bucket.
+func hdrMid(idx int) int64 {
+	if idx < 1<<hdrSubBits {
+		return int64(idx)
+	}
+	e := uint(idx>>hdrSubBits - 1)
+	low := int64(1<<hdrSubBits+idx&(1<<hdrSubBits-1)) << e
+	return low + int64(1)<<e/2
+}
+
+// Record adds one observation (negative values are clamped to 0).
+func (h *HDR) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	if h.counts == nil {
+		h.counts = make([]int64, hdrBuckets)
+	}
+	h.counts[hdrIndex(v)]++
+	if h.n == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.n++
+	h.sum += float64(v)
+}
+
+// RecordDuration records a duration as integer nanoseconds.
+func (h *HDR) RecordDuration(d sim.Duration) { h.Record(int64(d / sim.Nanosecond)) }
+
+// N returns the number of observations.
+func (h *HDR) N() int64 { return h.n }
+
+// Min returns the smallest recorded value, exactly (0 when empty).
+func (h *HDR) Min() int64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest recorded value, exactly (0 when empty).
+func (h *HDR) Max() int64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Mean returns the arithmetic mean (0 when empty).
+func (h *HDR) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) by nearest rank over the
+// buckets; the result is a bucket midpoint clamped to [Min, Max], so its
+// relative error is bounded by the bucket resolution.
+func (h *HDR) Quantile(q float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(h.n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.n {
+		rank = h.n
+	}
+	var seen int64
+	for idx, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			v := hdrMid(idx)
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return float64(v)
+		}
+	}
+	return float64(h.max)
+}
+
+// Merge adds every observation of o into h. Merging is exact: bucket
+// counts sum, so merge order never changes any quantile.
+func (h *HDR) Merge(o *HDR) {
+	if o == nil || o.n == 0 {
+		return
+	}
+	if h.counts == nil {
+		h.counts = make([]int64, hdrBuckets)
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	if h.n == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.n += o.n
+	h.sum += o.sum
+}
+
+// String summarizes the histogram.
+func (h *HDR) String() string {
+	return fmt.Sprintf("n=%d mean=%.3g p50=%.3g p99=%.3g max=%d",
+		h.n, h.Mean(), h.Quantile(0.5), h.Quantile(0.99), h.Max())
 }
 
 // FaultCounters records the fault events one injection site has inflicted

@@ -4,6 +4,12 @@
 // TCP with flags/seq/ack the way tcpdump renders them. The paper's
 // proof-of-concept demo (Fig. 12) runs tcpdump on the NIOS II terminal;
 // examples/mpihello reproduces that with this package.
+//
+// A Recorder's memory is bounded by its Max cap: it behaves as a ring
+// buffer, keeping the newest Max frames and evicting the oldest once the
+// cap is reached (Dropped counts evictions). With CaptureBytes set the
+// resident footprint is therefore at most Max full frames regardless of
+// how long the capture runs.
 package trace
 
 import (
@@ -27,14 +33,18 @@ type Record struct {
 	Raw []byte
 }
 
-// Recorder captures frames up to a bounded count (old frames are kept,
-// new ones dropped once full, like a fixed-size capture buffer).
+// Recorder captures frames into a ring of at most Max entries: once full,
+// each new frame evicts the oldest one (like tcpdump's rotating capture
+// buffers), so memory stays bounded even on captures that run for the
+// whole simulation. Records is always in chronological order; Dropped
+// counts evicted frames.
 type Recorder struct {
 	Max     int
 	Records []Record
 	Dropped int
 	// CaptureBytes keeps full frame contents so the capture can be
-	// exported with WritePcap.
+	// exported with WritePcap; the ring cap then also bounds the retained
+	// payload bytes to Max frames.
 	CaptureBytes bool
 }
 
@@ -48,15 +58,19 @@ func NewRecorder(max int) *Recorder {
 
 // Packet implements netstack.PacketTap.
 func (r *Recorder) Packet(at sim.Time, dir, dev string, data []byte) {
-	if len(r.Records) >= r.Max {
-		r.Dropped++
-		return
-	}
 	rec := Record{
 		At: at, Dir: dir, Dev: dev, Len: len(data), Summary: Summarize(data),
 	}
 	if r.CaptureBytes {
 		rec.Raw = append([]byte(nil), data...)
+	}
+	if len(r.Records) >= r.Max {
+		// Ring semantics: evict the oldest frame so the capture keeps the
+		// newest Max frames with bounded memory.
+		copy(r.Records, r.Records[1:])
+		r.Records[len(r.Records)-1] = rec
+		r.Dropped++
+		return
 	}
 	r.Records = append(r.Records, rec)
 }
@@ -101,7 +115,7 @@ func (r *Recorder) Dump() string {
 		fmt.Fprintf(&b, "%12v %s %-6s %s\n", rec.At, rec.Dir, rec.Dev, rec.Summary)
 	}
 	if r.Dropped > 0 {
-		fmt.Fprintf(&b, "... %d frames dropped by the capture buffer\n", r.Dropped)
+		fmt.Fprintf(&b, "... %d frames dropped by the capture ring (oldest evicted)\n", r.Dropped)
 	}
 	return b.String()
 }

@@ -86,3 +86,26 @@ func TestSummarizeFragment(t *testing.T) {
 		t.Fatalf("fragment summary %q", s)
 	}
 }
+
+func TestRecorderRingKeepsNewest(t *testing.T) {
+	rec := NewRecorder(3)
+	rec.CaptureBytes = true
+	for i := 0; i < 7; i++ {
+		frame := make([]byte, netstack.EthHeaderBytes+1)
+		frame[netstack.EthHeaderBytes] = byte(i)
+		rec.Packet(sim.Time(i)*sim.Time(sim.Microsecond), "tx", "eth0", frame)
+	}
+	if len(rec.Records) != 3 || rec.Dropped != 4 {
+		t.Fatalf("records=%d dropped=%d", len(rec.Records), rec.Dropped)
+	}
+	// The ring holds the newest frames in chronological order.
+	for i, want := range []byte{4, 5, 6} {
+		r := rec.Records[i]
+		if r.Raw[netstack.EthHeaderBytes] != want {
+			t.Fatalf("record %d holds frame %d, want %d", i, r.Raw[netstack.EthHeaderBytes], want)
+		}
+		if i > 0 && rec.Records[i-1].At >= r.At {
+			t.Fatal("ring not in chronological order")
+		}
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"github.com/mcn-arch/mcn/internal/netstack"
 	"github.com/mcn-arch/mcn/internal/node"
 	"github.com/mcn-arch/mcn/internal/npb"
+	"github.com/mcn-arch/mcn/internal/serve"
 	"github.com/mcn-arch/mcn/internal/sim"
 	"github.com/mcn-arch/mcn/internal/stats"
 	"github.com/mcn-arch/mcn/internal/trace"
@@ -312,3 +313,57 @@ func Discussion() *DiscussionResult { return exp.Discussion() }
 func FaultSweep(seed uint64, rates []float64) *FaultSweepResult {
 	return exp.FaultSweep(seed, rates)
 }
+
+// Serving benchmark: load generation, shard routing and tail-latency
+// telemetry for running MCN as a key/value cache tier.
+type (
+	// ServeConfig describes one load-generation run.
+	ServeConfig = serve.Config
+	// ServeWorkload is the keyspace, popularity and op-mix shape.
+	ServeWorkload = serve.Workload
+	// ServeShard is one kvstore target of the shard router.
+	ServeShard = serve.Shard
+	// ServeResult is one run's telemetry (HDR histograms, per-shard
+	// slices, warmup-trimmed summary).
+	ServeResult = serve.Result
+	// ServeSummary is the headline line of one run.
+	ServeSummary = serve.Summary
+	// ShardRouter is the client-side consistent-hash key router.
+	ShardRouter = serve.Router
+	// HDR is a log-bucketed latency histogram (record/merge/quantile).
+	HDR = stats.HDR
+	// ServeCurveResult is the latency-vs-throughput sweep across
+	// topologies.
+	ServeCurveResult = exp.ServeCurveResult
+	// ServeFaultsResult is the serving run with a DIMM flap mid-window.
+	ServeFaultsResult = exp.ServeFaultsResult
+)
+
+// NewShardRouter builds a consistent-hash ring over nShards shards with
+// vnodes virtual nodes each (0 picks the default).
+func NewShardRouter(nShards, vnodes int) *ShardRouter { return serve.NewRouter(nShards, vnodes) }
+
+// ServeRun executes one load-generation run on k and returns its
+// telemetry. Same seed, same topology: bit-identical results.
+func ServeRun(k *Kernel, cfg ServeConfig) *ServeResult { return serve.Run(k, cfg) }
+
+// ServeTopos lists the serving topologies in presentation order.
+var ServeTopos = exp.ServeTopos
+
+// DefaultServeSLONs is the default p99 objective (ns) for qps-at-SLO.
+const DefaultServeSLONs = exp.DefaultServeSLONs
+
+// ServeOnce runs one point of the serving benchmark on the named topology
+// ("mcn0", "mcn5", "10gbe", "scaleup"); closedWorkers > 0 switches to the
+// closed-loop driver and ignores rate.
+func ServeOnce(seed uint64, topo string, rate float64, closedWorkers int) *ServeResult {
+	return exp.ServeOnce(seed, topo, rate, closedWorkers)
+}
+
+// ServeCurve sweeps offered load across the serving topologies (mcn0,
+// mcn5, 10GbE scale-out, scale-up); nil rates uses the default ladder.
+func ServeCurve(seed uint64, rates []float64) *ServeCurveResult { return exp.ServeCurve(seed, rates) }
+
+// ServeFaults runs the mcn5 serving topology with one DIMM flapping
+// offline during the measured window and reports the degraded shard.
+func ServeFaults(seed uint64) *ServeFaultsResult { return exp.ServeFaults(seed) }
