@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check test-short bench
+.PHONY: build test check test-short cover bench
 
 build:
 	$(GO) build ./...
@@ -8,9 +8,15 @@ build:
 test:
 	$(GO) build ./... && $(GO) test ./...
 
-# Full gate: build + vet + race-enabled tests (see scripts/check.sh).
+# Full gate: build + vet + race-enabled tests + coverage floors
+# (see scripts/check.sh).
 check:
 	./scripts/check.sh
+
+# Coverage gate alone: short-mode suite with per-package floors; also
+# replays the committed fuzz seed corpora (see scripts/cover.sh).
+cover:
+	./scripts/cover.sh
 
 # Same gate with the long integration runs (chaos, NPB classes) trimmed.
 test-short:

@@ -182,6 +182,36 @@ func TestChaos(t *testing.T) {
 	}
 }
 
+// TestBatchedServeFaultReplayDeterminism replays the serving-under-faults
+// experiment with the request-coalescing window enabled: a DIMM flap in
+// the middle of the measured window, batched shard connections, and the
+// whole rendered result — every latency quantile, batch statistic and
+// per-shard degradation line — must be byte-identical across two runs
+// with one seed, and must differ for another seed.
+func TestBatchedServeFaultReplayDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("batched fault-replay run skipped in -short mode")
+	}
+	a := mcn.ServeFaultsBatched(77)
+	if !a.Batched {
+		t.Fatal("run does not report batching enabled")
+	}
+	if a.Result.BatchSize.N() == 0 {
+		t.Fatal("no batches flushed in the measured window; coalescing never engaged")
+	}
+	if len(a.Degraded) == 0 {
+		t.Fatal("DIMM flap degraded no shard; fault injection looks inert")
+	}
+	b := mcn.ServeFaultsBatched(77)
+	if as, bs := a.String(), b.String(); as != bs {
+		t.Fatalf("same seed, different batched fault replay:\n--- run A ---\n%s\n--- run B ---\n%s", as, bs)
+	}
+	c := mcn.ServeFaultsBatched(78)
+	if c.String() == a.String() {
+		t.Fatal("different seed replayed the identical result; injection looks seed-independent")
+	}
+}
+
 // TestFaultReplayDeterminism is the cheap always-on determinism regression:
 // two runs of a faulty transfer with one seed must agree on completion time
 // and every counter; a third run with a different seed must not.

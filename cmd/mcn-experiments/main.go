@@ -18,7 +18,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "", "which figure/table to regenerate: 8a, 8b, 8c, t3, 9, 10, 11, faults, serve, serve-faults, all")
+	fig := flag.String("fig", "", "which figure/table to regenerate: 8a, 8b, 8c, t3, 9, 10, 11, faults, serve, serve-batch, serve-faults, all")
 	headline := flag.Bool("headline", false, "compute the abstract's headline numbers")
 	discussion := flag.Bool("discussion", false, "run the Sec. VII TCP-overhead / fast-transport comparison")
 	scale := flag.Float64("scale", float64(mcn.QuickScale), "working-set multiplier for figs 9-11")
@@ -56,6 +56,8 @@ func main() {
 			fmt.Print(mcn.FaultSweep(*seed, nil))
 		case "serve":
 			fmt.Print(mcn.ServeCurve(*seed, nil))
+		case "serve-batch":
+			fmt.Print(mcn.ServeBatch(*seed, nil))
 		case "serve-faults":
 			fmt.Print(mcn.ServeFaults(*seed))
 		default:

@@ -78,7 +78,7 @@ type benchPointJSON struct {
 
 func main() {
 	seed := flag.Uint64("seed", 42, "random seed; the same seed replays bit-identically")
-	topo := flag.String("topo", "mcn5", "serving topology: mcn0, mcn5, 10gbe, scaleup")
+	topo := flag.String("topo", "mcn5", "serving topology: mcn0, mcn5, 10gbe, scaleup, or any with a +batch suffix (request batching)")
 	rate := flag.Float64("rate", 400e3, "open-loop offered load, requests/sec")
 	workers := flag.Int("closed", 0, "closed-loop worker count (overrides -rate)")
 	curve := flag.Bool("curve", false, "sweep the full latency-vs-load curve over every topology")

@@ -1,0 +1,108 @@
+package cluster
+
+import (
+	"testing"
+
+	"github.com/mcn-arch/mcn/internal/core"
+	"github.com/mcn-arch/mcn/internal/netstack"
+	"github.com/mcn-arch/mcn/internal/sim"
+)
+
+// collidePort picks a listen port whose (src, dst, sport, dport) flow
+// hashes — with the DimmDriver's FNV-1a receive-steering hash — onto the
+// RPS queue that non-IPv4 frames used to share (the hash seed modulo the
+// core count). Before ARP got its own control-plane queue, that collision
+// parked the ARP reply behind the very process blocked in ResolveMAC.
+func collidePort(src, dst netstack.IP, sport uint16, cores int) uint16 {
+	arpQueue := uint32(2166136261) % uint32(cores)
+	for port := uint16(7000); ; port++ {
+		h := uint32(2166136261)
+		mix := func(bs ...byte) {
+			for _, b := range bs {
+				h = (h ^ uint32(b)) * 16777619
+			}
+		}
+		mix(src[:]...)
+		mix(dst[:]...)
+		mix(byte(sport>>8), byte(sport), byte(port>>8), byte(port))
+		if h%uint32(cores) == arpQueue {
+			return port
+		}
+	}
+}
+
+// TestDimmColdStartHandshake is the regression test for the rx-path ARP
+// head-of-line block: the MCN node's first inbound SYN forces it to
+// resolve the host's MAC, and when the SYN's flow steered to the same
+// RPS queue as ARP, the reply sat behind the very process blocked in
+// ResolveMAC — the SYN-ACK was dropped and the handshake only completed
+// after a ~10ms SYN-RCVD RTO (~16ms total, formerly papered over by the
+// serving tier's pre-run Connect grace). The test listens on a port
+// chosen to reproduce that queue collision and asserts the handshake
+// completes promptly, with a single ARP request and no retransmission
+// timeout on either side.
+func TestDimmColdStartHandshake(t *testing.T) {
+	for _, lvl := range []core.OptLevel{core.MCN0, core.MCN5} {
+		lvl := lvl
+		t.Run(lvl.String(), func(t *testing.T) {
+			k := sim.NewKernel()
+			s := NewMcnServer(k, 2, lvl.Options())
+			m := s.Mcns[0]
+			// The host's first ephemeral port is 33001 (allocPort starts
+			// above 33000 and nothing else has dialed).
+			port := collidePort(s.Host.HostMcnIP(), m.IP, 33001, m.CPU.NumCores())
+
+			var srvConn *netstack.TCPConn
+			k.Go("coldstart/server", func(p *sim.Proc) {
+				l, err := m.Stack.Listen(port)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				c, err := l.Accept(p)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				srvConn = c
+			})
+
+			var cliConn *netstack.TCPConn
+			var took sim.Duration
+			k.Go("coldstart/client", func(p *sim.Proc) {
+				p.Sleep(sim.Microsecond) // let the listener come up
+				t0 := p.Now()
+				c, err := s.Host.Stack.Connect(p, m.IP, port)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				cliConn, took = c, p.Now().Sub(t0)
+			})
+
+			k.RunFor(50 * sim.Millisecond)
+			k.Shutdown()
+			if cliConn == nil || srvConn == nil {
+				t.Fatal("handshake never completed")
+			}
+			// The old failure mode was ~16ms: 3 failed ARP attempts (6ms)
+			// plus the server's 10ms initial RTO. Anything near the RTO
+			// means the SYN-ACK rode a retransmission.
+			if took >= 5*sim.Millisecond {
+				t.Fatalf("first inbound handshake took %v — rode a retransmission timeout", took)
+			}
+			if cliConn.Timeouts != 0 || srvConn.Timeouts != 0 {
+				t.Fatalf("handshake hit RTO: client timeouts=%d server timeouts=%d",
+					cliConn.Timeouts, srvConn.Timeouts)
+			}
+			if cliConn.Retransmit != 0 || srvConn.Retransmit != 0 {
+				t.Fatalf("handshake retransmitted: client=%d server=%d",
+					cliConn.Retransmit, srvConn.Retransmit)
+			}
+			// One resolution round-trip, not three timed-out attempts.
+			if m.Stack.ARPRequests != 1 {
+				t.Fatalf("MCN node sent %d ARP requests, want exactly 1", m.Stack.ARPRequests)
+			}
+		})
+	}
+}

@@ -34,6 +34,11 @@ type DimmDriver struct {
 	// per-flow queues serviced on different cores (Linux RPS), keeping
 	// one hot flow from serializing the whole node behind one core.
 	rxq []*sim.Queue[rxEntry]
+	// arpq is a dedicated control-plane queue: ARP frames must never
+	// queue behind a flow whose service process is itself blocked in
+	// ResolveMAC, or the node's first inbound handshake head-of-line
+	// blocks on its own unprocessed ARP reply and rides a full RTO.
+	arpq *sim.Queue[rxEntry]
 
 	// TraceMinBytes / LastTrace mirror the host driver's Table III hooks
 	// for the host->MCN direction.
@@ -93,6 +98,17 @@ func NewDimmDriver(k *sim.Kernel, c *cpu.CPU, s *netstack.Stack, local *dram.Cha
 			}
 		})
 	}
+	drv.arpq = sim.NewQueue[rxEntry](k, 0)
+	k.Go(d.Name+"/arp-rx", func(p *sim.Proc) {
+		for {
+			e, ok := drv.arpq.Get(p)
+			if !ok {
+				return
+			}
+			drv.CPU.Exec(p, drv.Costs.RxPerMsgCycles)
+			drv.Stack.RxFrame(p, drv, e.msg)
+		}
+	})
 	d.SetRxIRQ(func() {
 		c.RaiseIRQ(d.Name+"/rx", drv.drainRX)
 	})
@@ -126,9 +142,15 @@ type rxEntry struct {
 }
 
 // flowQueue picks the RPS queue for a frame by hashing its flow identity.
+// ARP is steered to the dedicated control-plane queue so resolution
+// replies are processed even while every flow service process is parked
+// (e.g. blocked in ResolveMAC sending a SYN-ACK).
 func (drv *DimmDriver) flowQueue(msg []byte) *sim.Queue[rxEntry] {
 	h := uint32(2166136261)
 	eth, ok := netstack.ParseEth(msg)
+	if ok && eth.Type == netstack.EtherTypeARP {
+		return drv.arpq
+	}
 	if ok && eth.Type == netstack.EtherTypeIPv4 {
 		if ip, ok2 := netstack.ParseIPv4(msg[netstack.EthHeaderBytes:]); ok2 {
 			for _, b := range ip.Src {

@@ -21,8 +21,9 @@ import (
 const ServeShards = 8
 
 // DefaultServeRates is the offered-load ladder (requests/sec) of the
-// latency-vs-throughput sweep.
-var DefaultServeRates = []float64{100e3, 200e3, 400e3, 800e3, 1.2e6, 1.4e6, 1.6e6}
+// latency-vs-throughput sweep. The ladder extends past the unbatched
+// knee (~1.4M) so the batched configurations can show theirs.
+var DefaultServeRates = []float64{100e3, 200e3, 400e3, 800e3, 1.2e6, 1.4e6, 1.6e6, 2e6, 2.4e6}
 
 // DefaultServeSLONs is the p99 service-level objective (ns) used for the
 // qps-at-SLO headline. 40us sits well above every topology's unloaded
@@ -30,8 +31,19 @@ var DefaultServeRates = []float64{100e3, 200e3, 400e3, 800e3, 1.2e6, 1.4e6, 1.6e
 // each fabric's latency knee is.
 const DefaultServeSLONs = 40e3 // 40us
 
-// ServeTopos lists the serving topologies in presentation order.
-var ServeTopos = []string{"mcn0", "mcn5", "10gbe", "scaleup"}
+// ServeTopos lists the serving topologies in presentation order. A
+// "+batch" suffix runs the same fabric with request batching on the
+// shard connections (DefaultServeBatch).
+var ServeTopos = []string{"mcn0", "mcn5", "mcn0+batch", "mcn5+batch", "10gbe", "scaleup"}
+
+// DefaultServeBatch is the coalescing bound the "+batch" topologies use:
+// flush at 16 requests, 8KB, or 2us after the first dequeue — whichever
+// comes first. The window only runs while earlier responses are in
+// flight (flush-on-idle), so a sparse stream pays nothing; 2us sits well
+// under the fabric's unloaded service time yet spans several
+// inter-arrival gaps near the knee, where it roughly doubles the
+// requests per segment and moves the saturation knee by ~50%.
+var DefaultServeBatch = serve.BatchConfig{MaxRequests: 16, MaxBytes: 8 << 10, Window: 2 * sim.Microsecond}
 
 // ServePoint is one offered-load point of one topology's curve.
 type ServePoint struct {
@@ -87,7 +99,6 @@ func serveConfig(seed uint64, rate float64) serve.Config {
 		Seed:       seed,
 		Workload:   serve.Workload{Keys: 4000, ValueBytes: 128},
 		RatePerSec: rate,
-		Connect:    30 * sim.Millisecond,
 		Warmup:     sim.Millisecond,
 		Measure:    5 * sim.Millisecond,
 		Drain:      2 * sim.Millisecond,
@@ -138,15 +149,21 @@ func buildServeTopo(k *sim.Kernel, topo string) (shards []serve.Shard, clients [
 	return shards, clients, inject
 }
 
-// runServe executes one point: fresh kernel, topology, measured run.
+// runServe executes one point: fresh kernel, topology, measured run. A
+// "+batch" suffix on topo enables DefaultServeBatch on the fabric it
+// names.
 func runServe(seed uint64, topo string, rate float64, plan *faults.Plan, mutate func(*serve.Config)) *serve.Result {
+	fabric, batched := strings.CutSuffix(topo, "+batch")
 	k := sim.NewKernel()
-	shards, clients, inject := buildServeTopo(k, topo)
+	shards, clients, inject := buildServeTopo(k, fabric)
 	if plan != nil {
 		inject(faults.New(k, *plan))
 	}
 	cfg := serveConfig(seed, rate)
 	cfg.Shards, cfg.Clients = shards, clients
+	if batched {
+		cfg.Batch = DefaultServeBatch
+	}
 	if mutate != nil {
 		mutate(&cfg)
 	}
@@ -156,7 +173,8 @@ func runServe(seed uint64, topo string, rate float64, plan *faults.Plan, mutate 
 }
 
 // ServeOnce runs one point of the serving benchmark on the named topology
-// ("mcn0", "mcn5", "10gbe", "scaleup"). closedWorkers > 0 switches to the
+// ("mcn0", "mcn5", "10gbe", "scaleup", or any of these with a "+batch"
+// suffix for request batching). closedWorkers > 0 switches to the
 // closed-loop driver and ignores rate.
 func ServeOnce(seed uint64, topo string, rate float64, closedWorkers int) *serve.Result {
 	return runServe(seed, topo, rate, nil, func(c *serve.Config) {
@@ -224,6 +242,7 @@ func (r *ServeCurveResult) String() string {
 // offline mid-measurement and the summary attributes the damage.
 type ServeFaultsResult struct {
 	Seed       uint64
+	Batched    bool
 	FlapDimm   string
 	FlapStart  sim.Time
 	FlapEnd    sim.Time
@@ -237,18 +256,27 @@ type ServeFaultsResult struct {
 // kernel is driven to a fixed deadline); the flapped shard shows up as
 // degraded — errors, unfinished requests, or a collapsed tail — while the
 // other shards keep serving.
-func ServeFaults(seed uint64) *ServeFaultsResult {
+func ServeFaults(seed uint64) *ServeFaultsResult { return serveFaults(seed, false) }
+
+// ServeFaultsBatched is ServeFaults with request batching on the shard
+// connections — the determinism and degradation story must hold with the
+// coalescing window in the path.
+func ServeFaultsBatched(seed uint64) *ServeFaultsResult { return serveFaults(seed, true) }
+
+func serveFaults(seed uint64, batched bool) *ServeFaultsResult {
 	const flapDimm = "host/mcn3"
 	cfg := serveConfig(seed, 200e3)
 	// Give the drain room for the RTO-driven recovery after the flap.
 	cfg.Drain = 20 * sim.Millisecond
+	if batched {
+		cfg.Batch = DefaultServeBatch
+	}
 
 	k := sim.NewKernel()
 	shards, clients, inject := buildServeTopo(k, "mcn5")
 	cfg.Shards, cfg.Clients = shards, clients
-	// The measured window starts after Connect+Warmup; flap 1ms into it
-	// for 2ms.
-	measStart := k.Now().Add(cfg.Connect + cfg.Warmup)
+	// The measured window starts after Warmup; flap 1ms into it for 2ms.
+	measStart := k.Now().Add(cfg.Warmup)
 	flapStart := measStart.Add(sim.Millisecond)
 	flapEnd := flapStart.Add(2 * sim.Millisecond)
 	inject(faults.New(k, faults.Plan{
@@ -259,7 +287,7 @@ func ServeFaults(seed uint64) *ServeFaultsResult {
 	k.Shutdown()
 
 	out := &ServeFaultsResult{
-		Seed: seed, FlapDimm: flapDimm, FlapStart: flapStart, FlapEnd: flapEnd,
+		Seed: seed, Batched: batched, FlapDimm: flapDimm, FlapStart: flapStart, FlapEnd: flapEnd,
 		Result: r, Degraded: r.Degraded(),
 	}
 	for _, s := range out.Degraded {
@@ -271,8 +299,87 @@ func ServeFaults(seed uint64) *ServeFaultsResult {
 // String renders the faulted run.
 func (r *ServeFaultsResult) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "serving under a DIMM flap: %s offline [%v, %v) (seed %d)\n",
-		r.FlapDimm, r.FlapStart, r.FlapEnd, r.Seed)
+	mode := ""
+	if r.Batched {
+		mode = ", batched"
+	}
+	fmt.Fprintf(&b, "serving under a DIMM flap: %s offline [%v, %v) (seed %d%s)\n",
+		r.FlapDimm, r.FlapStart, r.FlapEnd, r.Seed, mode)
 	b.WriteString(r.Result.String())
+	return b.String()
+}
+
+// ServeBatchResult is the batching A/B on the mcn5 fabric: identical
+// topology, seed and rate ladder, batching off vs on.
+type ServeBatchResult struct {
+	Seed      uint64
+	SLONs     float64
+	Unbatched ServeTopoCurve
+	Batched   ServeTopoCurve
+	// LowLoadRate is the lowest swept rate; the p99 pair there shows the
+	// flush-on-idle guarantee (batching must not tax sparse traffic).
+	LowLoadRate                  float64
+	LowLoadP99Off, LowLoadP99On  float64
+	BatchMeanAtKnee, BatchMaxAtKnee float64
+}
+
+// ServeBatch sweeps the mcn5 topology with request batching off and on:
+// the batching knee-mover figure. Same seed, same arrival streams — the
+// only difference between the two curves is the coalescing window.
+func ServeBatch(seed uint64, rates []float64) *ServeBatchResult {
+	if rates == nil {
+		rates = DefaultServeRates
+	}
+	res := &ServeBatchResult{Seed: seed, SLONs: DefaultServeSLONs, LowLoadRate: rates[0]}
+	for _, topo := range []string{"mcn5", "mcn5+batch"} {
+		curve := ServeTopoCurve{Topo: topo}
+		var kneeMean, kneeMax float64
+		for _, rate := range rates {
+			r := runServe(seed, topo, rate, nil, nil)
+			curve.Points = append(curve.Points, ServePoint{
+				OfferedQPS: rate,
+				Summary:    r.Summary(),
+				Errors:     r.Errors,
+				Unfinished: r.Unfinished,
+				Degraded:   r.Degraded(),
+			})
+			if r.BatchSize.N() > 0 && r.Summary().P99 <= DefaultServeSLONs && r.Errors == 0 && r.Unfinished == 0 {
+				kneeMean, kneeMax = r.BatchSize.Mean(), float64(r.BatchSize.Max())
+			}
+		}
+		if topo == "mcn5" {
+			res.Unbatched = curve
+			res.LowLoadP99Off = curve.Points[0].Summary.P99
+		} else {
+			res.Batched = curve
+			res.LowLoadP99On = curve.Points[0].Summary.P99
+			res.BatchMeanAtKnee, res.BatchMaxAtKnee = kneeMean, kneeMax
+		}
+	}
+	return res
+}
+
+// String renders the A/B with the knee headline.
+func (r *ServeBatchResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "request batching on shard connections: mcn5, batching off vs on (seed %d, p99 SLO %.0fus)\n",
+		r.Seed, r.SLONs/1e3)
+	for _, c := range []ServeTopoCurve{r.Unbatched, r.Batched} {
+		fmt.Fprintf(&b, "%s\n", c.Topo)
+		fmt.Fprintf(&b, "%12s %10s %10s %10s %7s\n", "offered/s", "qps", "p50us", "p99us", "ok")
+		for _, p := range c.Points {
+			ok := "yes"
+			if !p.Healthy() {
+				ok = fmt.Sprintf("e%d/u%d", p.Errors, p.Unfinished)
+			}
+			fmt.Fprintf(&b, "%12.0f %10.0f %10.1f %10.1f %7s\n",
+				p.OfferedQPS, p.Summary.QPS, p.Summary.P50/1e3, p.Summary.P99/1e3, ok)
+		}
+	}
+	off, on := r.Unbatched.QpsAtSLO(r.SLONs), r.Batched.QpsAtSLO(r.SLONs)
+	fmt.Fprintf(&b, "qps at p99<=%.0fus: off=%.0f on=%.0f (%+.0f%%)\n",
+		r.SLONs/1e3, off, on, 100*(on-off)/off)
+	fmt.Fprintf(&b, "low-load p99 @ %.0f req/s: off=%.1fus on=%.1fus | batch at knee: mean=%.1f max=%.0f reqs\n",
+		r.LowLoadRate, r.LowLoadP99Off/1e3, r.LowLoadP99On/1e3, r.BatchMeanAtKnee, r.BatchMaxAtKnee)
 	return b.String()
 }

@@ -1,0 +1,175 @@
+package kvstore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"github.com/mcn-arch/mcn/internal/cluster"
+	"github.com/mcn-arch/mcn/internal/netstack"
+	"github.com/mcn-arch/mcn/internal/sim"
+)
+
+// FuzzRequestRoundTrip: encoding a request and re-parsing its header is
+// the identity, and the body lands exactly where the header says.
+func FuzzRequestRoundTrip(f *testing.F) {
+	f.Add(byte(OpGet), "key", []byte(nil))
+	f.Add(byte(OpSet), "alpha", []byte("beta"))
+	f.Add(byte(OpDelete), "", []byte{})
+	f.Add(byte(0x7f), "k\x00k", []byte{0xff, 0x00})
+	f.Fuzz(func(t *testing.T, op byte, key string, val []byte) {
+		if len(key) > MaxKeyBytes || len(val) > MaxValueBytes {
+			t.Skip()
+		}
+		enc := AppendRequest(nil, op, key, val)
+		gotOp, keyLen, valLen, ok := ParseReqHeader(enc)
+		if !ok {
+			t.Fatal("ParseReqHeader rejected a valid encoding")
+		}
+		if gotOp != op || keyLen != len(key) || valLen != len(val) {
+			t.Fatalf("parsed (%d,%d,%d), want (%d,%d,%d)", gotOp, keyLen, valLen, op, len(key), len(val))
+		}
+		if len(enc) != ReqHeaderBytes+keyLen+valLen {
+			t.Fatalf("encoded %d bytes, header declares %d", len(enc), ReqHeaderBytes+keyLen+valLen)
+		}
+		if string(enc[ReqHeaderBytes:ReqHeaderBytes+keyLen]) != key ||
+			!bytes.Equal(enc[ReqHeaderBytes+keyLen:], val) {
+			t.Fatal("body bytes differ from inputs")
+		}
+		// Appending onto an existing buffer must leave the prefix alone
+		// (the batcher concatenates requests this way).
+		pre := AppendRequest([]byte{9, 8, 7}, op, key, val)
+		if !bytes.Equal(pre[:3], []byte{9, 8, 7}) || !bytes.Equal(pre[3:], enc) {
+			t.Fatal("AppendRequest disturbed the existing buffer")
+		}
+	})
+}
+
+// FuzzParseReqHeader: arbitrary bytes never panic, ok is exactly "enough
+// bytes", and a successful parse re-encodes to the same header.
+func FuzzParseReqHeader(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(make([]byte, ReqHeaderBytes-1))
+	f.Add(AppendRequest(nil, OpSet, "k", []byte("v")))
+	f.Add(bytes.Repeat([]byte{0xff}, ReqHeaderBytes+3))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		op, keyLen, valLen, ok := ParseReqHeader(b)
+		if ok != (len(b) >= ReqHeaderBytes) {
+			t.Fatalf("ok=%v with %d bytes", ok, len(b))
+		}
+		if !ok {
+			if op != 0 || keyLen != 0 || valLen != 0 {
+				t.Fatal("failed parse returned non-zero fields")
+			}
+			return
+		}
+		if keyLen < 0 || valLen < 0 {
+			t.Fatalf("negative declared length: key=%d val=%d", keyLen, valLen)
+		}
+		var hdr [ReqHeaderBytes]byte
+		hdr[0] = op
+		binary.LittleEndian.PutUint16(hdr[1:3], uint16(keyLen))
+		binary.LittleEndian.PutUint32(hdr[3:7], uint32(valLen))
+		if !bytes.Equal(hdr[:], b[:ReqHeaderBytes]) {
+			t.Fatal("re-encoded header differs")
+		}
+	})
+}
+
+// FuzzResponseRoundTrip mirrors FuzzRequestRoundTrip for the response
+// framing the batched server emits as contiguous bursts.
+func FuzzResponseRoundTrip(f *testing.F) {
+	f.Add(byte(StatusOK), []byte("value"))
+	f.Add(byte(StatusMiss), []byte(nil))
+	f.Add(byte(StatusTooLarge), []byte{})
+	f.Fuzz(func(t *testing.T, status byte, val []byte) {
+		if len(val) > MaxValueBytes {
+			t.Skip()
+		}
+		enc := AppendResponse(nil, status, val)
+		gotStatus, valLen, ok := ParseRespHeader(enc)
+		if !ok || gotStatus != status || valLen != len(val) {
+			t.Fatalf("parsed (%d,%d,%v), want (%d,%d,true)", gotStatus, valLen, ok, status, len(val))
+		}
+		if !bytes.Equal(enc[RespHeaderBytes:], val) {
+			t.Fatal("response body differs")
+		}
+		// A burst of two responses parses back-to-back.
+		burst := AppendResponse(enc, status, val)
+		if !bytes.Equal(burst[:len(enc)], enc) || !bytes.Equal(burst[len(enc):], enc) {
+			t.Fatal("burst concatenation broke framing")
+		}
+	})
+}
+
+// FuzzParseRespHeader: arbitrary bytes never panic and a successful
+// parse re-encodes identically.
+func FuzzParseRespHeader(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(make([]byte, RespHeaderBytes))
+	f.Add(AppendResponse(nil, StatusOK, []byte("v")))
+	f.Add(bytes.Repeat([]byte{0xff}, RespHeaderBytes))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		status, valLen, ok := ParseRespHeader(b)
+		if ok != (len(b) >= RespHeaderBytes) {
+			t.Fatalf("ok=%v with %d bytes", ok, len(b))
+		}
+		if !ok {
+			return
+		}
+		var hdr [RespHeaderBytes]byte
+		hdr[0] = status
+		binary.LittleEndian.PutUint32(hdr[1:5], uint32(valLen))
+		if !bytes.Equal(hdr[:], b[:RespHeaderBytes]) {
+			t.Fatal("re-encoded header differs")
+		}
+	})
+}
+
+// FuzzServerStream drives the batched server's request preflight with an
+// arbitrary byte stream over a real (simulated) TCP connection: whatever
+// the bytes, the server must not panic, and it must never answer with
+// more responses than the stream could contain requests.
+func FuzzServerStream(f *testing.F) {
+	f.Add(AppendRequest(nil, OpGet, "k", nil))
+	f.Add(AppendRequest(AppendRequest(nil, OpSet, "k", []byte("v")), OpGet, "k", nil))
+	f.Add([]byte{OpSet, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff}) // oversized declaration
+	f.Add(AppendRequest(nil, 0x42, "bad", []byte("op")))
+	f.Add([]byte{OpGet, 3, 0, 0, 0, 0, 0, 'a'}) // truncated body
+	f.Fuzz(func(t *testing.T, stream []byte) {
+		if len(stream) > 1<<14 {
+			t.Skip()
+		}
+		k := sim.NewKernel()
+		h := cluster.NewScaleUp(k, 4)
+		ep := cluster.Endpoint{Node: h.Node, IP: netstack.Loopback}
+		srv := NewServer(k, ep, 11211)
+		responses := 0
+		k.Go("fuzz/client", func(p *sim.Proc) {
+			c, err := h.Node.Stack.Connect(p, netstack.Loopback, 11211)
+			if err != nil {
+				t.Errorf("connect: %v", err)
+				return
+			}
+			if len(stream) > 0 {
+				if err := c.Send(p, stream); err != nil {
+					return
+				}
+			}
+			buf := make([]byte, 64<<10)
+			for {
+				n, ok := c.Recv(p, buf)
+				responses += n
+				if !ok {
+					return
+				}
+			}
+		})
+		k.RunFor(sim.Second)
+		k.Shutdown()
+		if max := len(stream) / ReqHeaderBytes * (RespHeaderBytes + MaxValueBytes); responses > max {
+			t.Fatalf("server wrote %d response bytes for a %d-byte stream", responses, len(stream))
+		}
+		_ = srv
+	})
+}

@@ -74,10 +74,35 @@ func AppendRequest(buf []byte, op byte, key string, val []byte) []byte {
 	return append(buf, val...)
 }
 
+// ParseReqHeader decodes a request header into its opcode and declared
+// key/value lengths; ok is false for truncated input. The lengths are as
+// declared on the wire — callers must still enforce MaxKeyBytes /
+// MaxValueBytes before trusting them.
+func ParseReqHeader(hdr []byte) (op byte, keyLen, valLen int, ok bool) {
+	if len(hdr) < reqHeaderBytes {
+		return 0, 0, 0, false
+	}
+	return hdr[0], int(binary.LittleEndian.Uint16(hdr[1:3])), int(binary.LittleEndian.Uint32(hdr[3:7])), true
+}
+
+// AppendResponse appends the wire encoding of one response to buf and
+// returns the extended slice. The batched server concatenates responses
+// with it into one contiguous burst per write.
+func AppendResponse(buf []byte, status byte, val []byte) []byte {
+	var hdr [respHeaderBytes]byte
+	hdr[0] = status
+	binary.LittleEndian.PutUint32(hdr[1:5], uint32(len(val)))
+	buf = append(buf, hdr[:]...)
+	return append(buf, val...)
+}
+
 // ParseRespHeader decodes a response header into its status and value
-// length.
-func ParseRespHeader(hdr []byte) (status byte, valLen int) {
-	return hdr[0], int(binary.LittleEndian.Uint32(hdr[1:5]))
+// length; ok is false for truncated input.
+func ParseRespHeader(hdr []byte) (status byte, valLen int, ok bool) {
+	if len(hdr) < respHeaderBytes {
+		return 0, 0, false
+	}
+	return hdr[0], int(binary.LittleEndian.Uint32(hdr[1:5])), true
 }
 
 // Server is one key/value node.
@@ -129,39 +154,55 @@ func (s *Server) Preload(key string, val []byte) {
 // Len returns the number of keys.
 func (s *Server) Len() int { return len(s.data) }
 
+// respFlushBytes bounds the response burst accumulated before an early
+// flush, so a train of large GETs cannot grow the burst without limit.
+const respFlushBytes = 32 << 10
+
+// serve runs one connection. Requests are framed back to back (the
+// client-side batcher coalesces several per segment), so the loop keeps
+// consuming requests for as long as bytes are already on hand and writes
+// the accumulated responses as one contiguous burst; it flushes before
+// any read that would block, which keeps single requests at exactly one
+// response write (no added latency when traffic is sparse).
 func (s *Server) serve(p *sim.Proc, c *netstack.TCPConn) {
-	hdr := make([]byte, reqHeaderBytes)
+	in := connReader{c: c}
+	var out []byte
+	flush := func() bool {
+		if len(out) == 0 {
+			return true
+		}
+		err := c.Send(p, out)
+		out = out[:0]
+		return err == nil
+	}
 	for {
-		if !readFull(p, c, hdr) {
+		if in.pending() < reqHeaderBytes && !flush() {
 			return
 		}
-		op := hdr[0]
-		keyLen := int(binary.LittleEndian.Uint16(hdr[1:3]))
-		valLen := int(binary.LittleEndian.Uint32(hdr[3:7]))
+		hdr, ok := in.next(p, reqHeaderBytes)
+		if !ok {
+			return
+		}
+		op, keyLen, valLen, _ := ParseReqHeader(hdr)
 		if keyLen > MaxKeyBytes || valLen > MaxValueBytes {
 			// The declared body length cannot be trusted (consuming it
 			// could mean gigabytes), so reject and close the connection.
 			s.TooLarge++
-			resp := make([]byte, respHeaderBytes)
-			resp[0] = StatusTooLarge
-			c.Send(p, resp)
+			out = AppendResponse(out, StatusTooLarge, nil)
+			c.Send(p, out)
 			c.Close(p)
 			return
 		}
-		kb := make([]byte, keyLen)
-		if !readFull(p, c, kb) {
+		if in.pending() < keyLen+valLen && !flush() {
 			return
 		}
-		key := string(kb)
-		var val []byte
-		if valLen > 0 {
-			val = make([]byte, valLen)
-			if !readFull(p, c, val) {
-				return
-			}
+		body, ok := in.next(p, keyLen+valLen)
+		if !ok {
+			return
 		}
+		key := string(body[:keyLen])
 		status := byte(StatusOK)
-		var out []byte
+		var val []byte
 		switch op {
 		case OpGet:
 			s.Gets++
@@ -173,16 +214,17 @@ func (s *Server) serve(p *sim.Proc, c *netstack.TCPConn) {
 				// The near-memory read: stream the value from the
 				// node's DRAM.
 				s.ep.Node.MemStream(p, int64(len(v)), false)
-				out = v
+				val = v
 			}
 		case OpSet:
 			s.Sets++
+			stored := append([]byte(nil), body[keyLen:]...)
 			if old, ok := s.data[key]; ok {
 				s.bytes -= int64(len(old))
 			}
-			s.data[key] = val
-			s.bytes += int64(len(val))
-			s.ep.Node.MemStream(p, int64(len(val)), true)
+			s.data[key] = stored
+			s.bytes += int64(len(stored))
+			s.ep.Node.MemStream(p, int64(len(stored)), true)
 		case OpDelete:
 			s.Dels++
 			if old, ok := s.data[key]; ok {
@@ -198,14 +240,52 @@ func (s *Server) serve(p *sim.Proc, c *netstack.TCPConn) {
 			s.BadOps++
 			status = StatusBadOp
 		}
-		resp := make([]byte, respHeaderBytes+len(out))
-		resp[0] = status
-		binary.LittleEndian.PutUint32(resp[1:5], uint32(len(out)))
-		copy(resp[respHeaderBytes:], out)
-		if c.Send(p, resp) != nil {
+		out = AppendResponse(out, status, val)
+		if len(out) >= respFlushBytes && !flush() {
 			return
 		}
 	}
+}
+
+// connReader accumulates stream bytes so the request loop can consume
+// whole fields without one Recv call (and its socket cost) per field —
+// the server-side half of request batching.
+type connReader struct {
+	c   *netstack.TCPConn
+	buf []byte
+	r   int
+}
+
+// pending reports the bytes obtainable without blocking: already
+// buffered here plus already in the connection's receive buffer.
+func (cr *connReader) pending() int { return len(cr.buf) - cr.r + cr.c.Buffered() }
+
+// next returns exactly n bytes, blocking as needed; the slice is valid
+// until the following call. ok is false if the stream ended short.
+func (cr *connReader) next(p *sim.Proc, n int) ([]byte, bool) {
+	if len(cr.buf)-cr.r < n && cr.r > 0 {
+		cr.buf = append(cr.buf[:0], cr.buf[cr.r:]...)
+		cr.r = 0
+	}
+	for len(cr.buf)-cr.r < n {
+		want := n - (len(cr.buf) - cr.r)
+		if avail := cr.c.Buffered(); avail > want {
+			want = avail
+		}
+		if want > 64<<10 {
+			want = 64 << 10
+		}
+		start := len(cr.buf)
+		cr.buf = append(cr.buf, make([]byte, want)...)
+		m, ok := cr.c.Recv(p, cr.buf[start:])
+		cr.buf = cr.buf[:start+m]
+		if !ok && len(cr.buf)-cr.r < n {
+			return nil, false
+		}
+	}
+	out := cr.buf[cr.r : cr.r+n]
+	cr.r += n
+	return out, true
 }
 
 // Client is one connection to a Server.

@@ -189,8 +189,8 @@ func TestMalformedRequests(t *testing.T) {
 		check(raw.Send(p, req) == nil, "send bad-op request")
 		hdr := make([]byte, RespHeaderBytes)
 		check(readFull(p, raw, hdr), "read bad-op response")
-		st, n := ParseRespHeader(hdr)
-		check(st == StatusBadOp && n == 0, "bad opcode should return StatusBadOp")
+		st, n, hok := ParseRespHeader(hdr)
+		check(hok && st == StatusBadOp && n == 0, "bad opcode should return StatusBadOp")
 		check(c.Set(p, "alpha", []byte("beta")) == nil, "connection unusable after bad op")
 		v, ok, err := c.Get(p, "alpha")
 		check(err == nil && ok && string(v) == "beta", "get after bad op")
@@ -217,7 +217,7 @@ func TestMalformedRequests(t *testing.T) {
 		check(raw2.Send(p, evil[:]) == nil, "send oversized header")
 		hdr2 := make([]byte, RespHeaderBytes)
 		check(readFull(p, raw2, hdr2), "read too-large response")
-		st2, _ := ParseRespHeader(hdr2)
+		st2, _, _ := ParseRespHeader(hdr2)
 		check(st2 == StatusTooLarge, "oversized request should return StatusTooLarge")
 		_, open := raw2.Recv(p, make([]byte, 1))
 		check(!open, "server should close the connection after StatusTooLarge")

@@ -287,6 +287,12 @@ func (c *TCPConn) SendN(p *sim.Proc, n int) error {
 	return nil
 }
 
+// Buffered reports the bytes that Recv can return without blocking. A
+// batched server uses it to decide whether another request is already on
+// hand (keep accumulating the response burst) or the next read would park
+// (flush first).
+func (c *TCPConn) Buffered() int { return len(c.rcvBuf) }
+
 // Recv reads up to len(buf) bytes, blocking until data is available. It
 // returns 0, false at end of stream.
 func (c *TCPConn) Recv(p *sim.Proc, buf []byte) (int, bool) {

@@ -54,15 +54,43 @@ type Config struct {
 	Inflight int
 	// VNodes is the router's virtual-node count per shard (default 64).
 	VNodes int
-	// Connect is the grace period for establishing every shard
-	// connection before the load starts (cold-start TCP handshakes ride
-	// through ARP resolution and retransmission timeouts, which can take
-	// tens of simulated milliseconds; an idle grace period costs no
-	// simulation events). Warmup requests are issued but not measured;
-	// Measure is the recorded window; Drain lets in-flight tails
-	// complete before the run is cut off and stragglers are counted as
-	// unfinished.
-	Connect, Warmup, Measure, Drain sim.Duration
+	// Batch bounds the per-connection coalescing window; the zero value
+	// disables batching (one request per Send).
+	Batch BatchConfig
+	// Warmup requests are issued but not measured; Measure is the
+	// recorded window; Drain lets in-flight tails complete before the
+	// run is cut off and stragglers are counted as unfinished.
+	Warmup, Measure, Drain sim.Duration
+}
+
+// BatchConfig bounds request coalescing on a shard connection: requests
+// dequeued together ride one Send (and, via TSO, one TCP segment train),
+// amortizing the per-call socket and per-segment driver costs that bound
+// the serving knee. A batch flushes at MaxRequests requests, MaxBytes
+// encoded bytes, or Window simulated time after the first dequeue —
+// whichever comes first.
+type BatchConfig struct {
+	// MaxRequests caps requests per batch; <= 1 disables batching.
+	MaxRequests int
+	// MaxBytes caps the encoded batch size (default 8KB when batching).
+	MaxBytes int
+	// Window is how long the first dequeued request may wait for
+	// company, and only while earlier responses are still outstanding;
+	// with nothing in flight the batch flushes immediately
+	// (flush-on-idle), so sparse traffic never pays the window. 0 means
+	// coalesce only the backlog already queued — batches then form
+	// purely from backpressure, adding no latency at low load.
+	Window sim.Duration
+}
+
+// Enabled reports whether batching is on.
+func (bc BatchConfig) Enabled() bool { return bc.MaxRequests > 1 }
+
+func (bc BatchConfig) withDefaults() BatchConfig {
+	if bc.Enabled() && bc.MaxBytes == 0 {
+		bc.MaxBytes = 8 << 10
+	}
+	return bc
 }
 
 func (c Config) withDefaults() Config {
@@ -73,9 +101,7 @@ func (c Config) withDefaults() Config {
 	if c.Inflight == 0 {
 		c.Inflight = 16
 	}
-	if c.Connect == 0 {
-		c.Connect = 30 * sim.Millisecond
-	}
+	c.Batch = c.Batch.withDefaults()
 	if c.Warmup == 0 {
 		c.Warmup = sim.Millisecond
 	}
@@ -89,7 +115,7 @@ func (c Config) withDefaults() Config {
 }
 
 // Deadline returns the total simulated span of a run.
-func (c Config) Deadline() sim.Duration { return c.Connect + c.Warmup + c.Measure + c.Drain }
+func (c Config) Deadline() sim.Duration { return c.Warmup + c.Measure + c.Drain }
 
 // request is one in-flight operation.
 type request struct {
@@ -97,7 +123,9 @@ type request struct {
 	key     int
 	shard   int
 	arrival sim.Time    // when the workload generated it (open-loop intent time)
-	sent    sim.Time    // when it reached the connection's send path
+	deq     sim.Time    // when the connection dequeued it into a batch
+	sent    sim.Time    // when its batch reached the wire
+	eob     bool        // last request of its batch: completing it frees the pipeline slot
 	done    *sim.Signal // closed-loop completion, nil for open loop
 }
 
@@ -125,11 +153,15 @@ type Result struct {
 	Errors        int64
 	Unfinished    int64
 	QPS           float64 // N / Measure
-	// Total = Queue + Service per request: Queue is arrival to the
-	// connection send path (router queue + pipeline-slot wait), Service
-	// is send to response (network + server time).
-	Total, Queue, Service stats.HDR
-	PerShard              []*ShardStats
+	// Total = Queue + BatchWait + Service per request: Queue is arrival
+	// to batch dequeue (router queue + pipeline-slot wait), BatchWait is
+	// time spent inside the coalescing window waiting for the batch to
+	// flush (always 0 with batching off), Service is wire to response
+	// (network + server time).
+	Total, Queue, BatchWait, Service stats.HDR
+	// BatchSize records requests per flushed batch (measured window).
+	BatchSize stats.HDR
+	PerShard  []*ShardStats
 }
 
 // Summary is the warmup-trimmed headline of a run; latencies are in
@@ -197,6 +229,10 @@ func (r *Result) String() string {
 	fmt.Fprintf(&b, "  queue   p50=%.1fus p99=%.1fus | service p50=%.1fus p99=%.1fus\n",
 		r.Queue.Quantile(0.5)/1e3, r.Queue.Quantile(0.99)/1e3,
 		r.Service.Quantile(0.5)/1e3, r.Service.Quantile(0.99)/1e3)
+	if r.BatchSize.N() > 0 {
+		fmt.Fprintf(&b, "  batch   mean=%.1f max=%d reqs/flush | batch-wait p99=%.1fus\n",
+			r.BatchSize.Mean(), r.BatchSize.Max(), r.BatchWait.Quantile(0.99)/1e3)
+	}
 	if r.Errors > 0 || r.Unfinished > 0 {
 		fmt.Fprintf(&b, "  errors=%d unfinished=%d\n", r.Errors, r.Unfinished)
 	}
@@ -264,8 +300,8 @@ func Run(k *sim.Kernel, cfg Config) *Result {
 		cfg:       cfg,
 		keys:      make([]string, w.Keys),
 		keyShard:  make([]int, w.Keys),
-		measStart: base.Add(cfg.Connect + cfg.Warmup),
-		measEnd:   base.Add(cfg.Connect + cfg.Warmup + cfg.Measure),
+		measStart: base.Add(cfg.Warmup),
+		measEnd:   base.Add(cfg.Warmup + cfg.Measure),
 		res:       &Result{Seed: cfg.Seed, OfferedQPS: cfg.RatePerSec, ClosedWorkers: cfg.ClosedWorkers},
 	}
 	if cfg.ClosedWorkers > 0 {
@@ -302,14 +338,9 @@ func Run(k *sim.Kernel, cfg Config) *Result {
 		}
 	}
 
-	// Let every connection establish before the load starts: cold-start
-	// handshakes can spend tens of milliseconds in ARP resolution and
-	// SYN retransmission, which would otherwise swallow a short measured
-	// window. The grace period is idle once the handshakes finish, so it
-	// costs no simulation events.
-	k.RunUntil(base.Add(cfg.Connect))
-
-	// Drivers.
+	// Drivers. Shard connections establish under load: with ARP steered
+	// to its own control-plane queue, a cold-start handshake completes in
+	// a few RTTs, comfortably inside the warmup window.
 	zf := newZipfFor(w)
 	if cfg.ClosedWorkers > 0 {
 		for ci := range cfg.Clients {
@@ -391,8 +422,23 @@ func (b *bench) enqueue(p *sim.Proc, ci int, req *request) {
 	b.conns[ci][req.shard].q.Put(p, req)
 }
 
+// reqBytes is the encoded size of one request on the wire.
+func (sc *shardConn) reqBytes(req *request) int {
+	n := kvstore.ReqHeaderBytes + len(sc.b.keys[req.key])
+	if req.op == opSet {
+		n += len(sc.setVal)
+	}
+	return n
+}
+
 // run is the sender side of a shard connection: dial once, then drain the
-// routed queue onto the wire within the pipelining window.
+// routed queue onto the wire within the pipelining window. With batching
+// enabled each flush gathers the backlog already queued (bounded by
+// MaxRequests/MaxBytes, optionally lingering up to Window while earlier
+// responses are outstanding) so the whole batch rides one Send; the
+// pipeline window is then counted in batches, not requests — per-request
+// slots would collapse the batch size back to 1 under overload, because
+// slots free one response at a time.
 func (sc *shardConn) run(p *sim.Proc) {
 	sh := sc.b.cfg.Shards[sc.shard]
 	conn, err := sc.client.Node.Stack.Connect(p, sh.Addr, sh.Port)
@@ -402,7 +448,9 @@ func (sc *shardConn) run(p *sim.Proc) {
 		sc.conn = conn
 		sc.b.k.Go(fmt.Sprintf("%s/rx", p.Name()), sc.receive)
 	}
+	bc := sc.b.cfg.Batch
 	var buf []byte
+	var batch []*request
 	for {
 		req, ok := sc.q.Get(p)
 		if !ok {
@@ -418,17 +466,50 @@ func (sc *shardConn) run(p *sim.Proc) {
 			sc.fail(req)
 			continue
 		}
-		req.sent = p.Now()
-		var val []byte
-		if req.op == opSet {
-			val = sc.setVal
+		req.deq = p.Now()
+		batch = append(batch[:0], req)
+		size := sc.reqBytes(req)
+		for len(batch) < bc.MaxRequests && size < bc.MaxBytes {
+			r, ok := sc.q.TryGet()
+			if !ok {
+				// Nothing queued. Linger only while earlier responses
+				// are still in flight; an idle connection flushes
+				// immediately so sparse traffic never pays the window.
+				if bc.Window <= 0 || len(sc.outstanding) == 0 {
+					break
+				}
+				wait := req.deq.Add(bc.Window).Sub(p.Now())
+				if wait <= 0 {
+					break
+				}
+				r, ok, _ = sc.q.GetTimeout(p, wait)
+				if !ok {
+					break
+				}
+			}
+			r.deq = p.Now()
+			batch = append(batch, r)
+			size += sc.reqBytes(r)
 		}
-		buf = kvstore.AppendRequest(buf[:0], req.op, sc.b.keys[req.key], val)
+		now := p.Now()
+		buf = buf[:0]
+		for _, r := range batch {
+			r.sent = now
+			var val []byte
+			if r.op == opSet {
+				val = sc.setVal
+			}
+			buf = kvstore.AppendRequest(buf, r.op, sc.b.keys[r.key], val)
+		}
+		batch[len(batch)-1].eob = true
+		if bc.Enabled() && now >= sc.b.measStart && now < sc.b.measEnd {
+			sc.b.res.BatchSize.Record(int64(len(batch)))
+		}
 		// FIFO-match bookkeeping must precede Send: on loopback the
 		// response can be delivered before Send returns.
-		sc.outstanding = append(sc.outstanding, req)
+		sc.outstanding = append(sc.outstanding, batch...)
 		if err := sc.conn.Send(p, buf); err != nil {
-			// The receiver drains outstanding (including this request)
+			// The receiver drains outstanding (including this batch)
 			// when its Recv fails.
 			sc.dead = true
 		}
@@ -446,7 +527,7 @@ func (sc *shardConn) receive(p *sim.Proc) {
 			sc.drainOutstanding()
 			return
 		}
-		status, n := kvstore.ParseRespHeader(hdr)
+		status, n, _ := kvstore.ParseRespHeader(hdr)
 		for n > 0 {
 			want := n
 			if want > len(scratch) {
@@ -463,7 +544,11 @@ func (sc *shardConn) receive(p *sim.Proc) {
 		req := sc.outstanding[0]
 		sc.outstanding = sc.outstanding[1:]
 		sc.complete(req, status == kvstore.StatusOK || status == kvstore.StatusMiss, p.Now())
-		sc.inflight.Release()
+		// The pipeline window is counted in batches: the slot frees when
+		// the batch's last response arrives.
+		if req.eob {
+			sc.inflight.Release()
+		}
 	}
 }
 
@@ -486,7 +571,8 @@ func (sc *shardConn) complete(req *request, ok bool, now sim.Time) {
 	total := now.Sub(req.arrival)
 	ss.Lat.RecordDuration(total)
 	sc.b.res.Total.RecordDuration(total)
-	sc.b.res.Queue.RecordDuration(req.sent.Sub(req.arrival))
+	sc.b.res.Queue.RecordDuration(req.deq.Sub(req.arrival))
+	sc.b.res.BatchWait.RecordDuration(req.sent.Sub(req.deq))
 	sc.b.res.Service.RecordDuration(now.Sub(req.sent))
 }
 
@@ -502,11 +588,14 @@ func (sc *shardConn) fail(req *request) {
 }
 
 // drainOutstanding fails every request still awaiting a response and
-// releases their pipeline slots.
+// releases their batches' pipeline slots (one slot per end-of-batch
+// marker still outstanding).
 func (sc *shardConn) drainOutstanding() {
 	for _, req := range sc.outstanding {
 		sc.fail(req)
-		sc.inflight.Release()
+		if req.eob {
+			sc.inflight.Release()
+		}
 	}
 	sc.outstanding = nil
 }

@@ -328,6 +328,8 @@ type (
 	ServeResult = serve.Result
 	// ServeSummary is the headline line of one run.
 	ServeSummary = serve.Summary
+	// ServeBatchConfig bounds request coalescing on shard connections.
+	ServeBatchConfig = serve.BatchConfig
 	// ShardRouter is the client-side consistent-hash key router.
 	ShardRouter = serve.Router
 	// HDR is a log-bucketed latency histogram (record/merge/quantile).
@@ -337,6 +339,8 @@ type (
 	ServeCurveResult = exp.ServeCurveResult
 	// ServeFaultsResult is the serving run with a DIMM flap mid-window.
 	ServeFaultsResult = exp.ServeFaultsResult
+	// ServeBatchResult is the batching off/on A/B on the mcn5 fabric.
+	ServeBatchResult = exp.ServeBatchResult
 )
 
 // NewShardRouter builds a consistent-hash ring over nShards shards with
@@ -354,16 +358,26 @@ var ServeTopos = exp.ServeTopos
 const DefaultServeSLONs = exp.DefaultServeSLONs
 
 // ServeOnce runs one point of the serving benchmark on the named topology
-// ("mcn0", "mcn5", "10gbe", "scaleup"); closedWorkers > 0 switches to the
+// ("mcn0", "mcn5", "10gbe", "scaleup", or any of these with a "+batch"
+// suffix for request batching); closedWorkers > 0 switches to the
 // closed-loop driver and ignores rate.
 func ServeOnce(seed uint64, topo string, rate float64, closedWorkers int) *ServeResult {
 	return exp.ServeOnce(seed, topo, rate, closedWorkers)
 }
 
 // ServeCurve sweeps offered load across the serving topologies (mcn0,
-// mcn5, 10GbE scale-out, scale-up); nil rates uses the default ladder.
+// mcn5, their batched variants, 10GbE scale-out, scale-up); nil rates
+// uses the default ladder.
 func ServeCurve(seed uint64, rates []float64) *ServeCurveResult { return exp.ServeCurve(seed, rates) }
+
+// ServeBatch sweeps the mcn5 topology with request batching off and on
+// over the same rate ladder (nil = default): the knee-mover A/B.
+func ServeBatch(seed uint64, rates []float64) *ServeBatchResult { return exp.ServeBatch(seed, rates) }
 
 // ServeFaults runs the mcn5 serving topology with one DIMM flapping
 // offline during the measured window and reports the degraded shard.
 func ServeFaults(seed uint64) *ServeFaultsResult { return exp.ServeFaults(seed) }
+
+// ServeFaultsBatched is ServeFaults with request batching enabled on the
+// shard connections.
+func ServeFaultsBatched(seed uint64) *ServeFaultsResult { return exp.ServeFaultsBatched(seed) }

@@ -15,4 +15,6 @@ go vet ./...
 echo ">> go test -race $* ./..."
 go test -race "$@" ./...
 
+./scripts/cover.sh
+
 echo "check: OK"
