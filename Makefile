@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check test-short cover bench
+.PHONY: build test check test-short cover bench bench-smoke
 
 build:
 	$(GO) build ./...
@@ -9,9 +9,10 @@ test:
 	$(GO) build ./... && $(GO) test ./...
 
 # Full gate: build + vet + race-enabled tests + coverage floors
-# (see scripts/check.sh).
+# (see scripts/check.sh), then the tiny serving-bench smoke sweep.
 check:
 	./scripts/check.sh
+	./scripts/bench-smoke.sh
 
 # Coverage gate alone: short-mode suite with per-package floors; also
 # replays the committed fuzz seed corpora (see scripts/cover.sh).
@@ -23,6 +24,12 @@ test-short:
 	./scripts/check.sh -short
 
 # Serving benchmark: deterministic latency-vs-load sweep at a fixed seed,
-# writes BENCH_serve.json (qps at the p99 SLO per topology).
+# writes BENCH_serve.json (qps at the p99 SLO per topology plus the
+# DIMM-flap admission A/B).
 bench:
 	./scripts/bench.sh
+
+# Tiny deterministic slice of the serving benchmark (two rates, one
+# admitted point); also runs as part of `make check`.
+bench-smoke:
+	./scripts/bench-smoke.sh

@@ -180,6 +180,28 @@ func TestChaos(t *testing.T) {
 		t.Fatalf("carrier transitions diverged: %d/%d vs %d/%d",
 			a.carrierDowns, a.carrierUps, b.carrierDowns, b.carrierUps)
 	}
+
+	// The serving tier under the same chaos seed, with the admission plane
+	// armed: a DIMM flap mid-window must trip exactly one shard's breaker,
+	// and the whole run — including the breaker open/half-open/closed event
+	// ordering in the rendered timeline — must replay byte-identically.
+	sa := mcn.ServeFaultsAdmitted(42)
+	if !sa.Admitted || !sa.Result.AdmitOn {
+		t.Fatal("admitted chaos serve run reports the admission plane off")
+	}
+	if len(sa.Result.AdmitEvents) == 0 {
+		t.Fatal("DIMM flap tripped no breaker; the admission plane looks inert")
+	}
+	for _, e := range sa.Result.AdmitEvents {
+		if sa.Result.PerShard[e.Shard].Name != sa.FlapDimm {
+			t.Fatalf("healthy shard %d (%s) got breaker event %s",
+				e.Shard, sa.Result.PerShard[e.Shard].Name, e)
+		}
+	}
+	sb := mcn.ServeFaultsAdmitted(42)
+	if sa.String() != sb.String() {
+		t.Fatalf("admitted serve chaos replay diverged:\n--- run A ---\n%s--- run B ---\n%s", sa, sb)
+	}
 }
 
 // TestBatchedServeFaultReplayDeterminism replays the serving-under-faults
@@ -209,6 +231,29 @@ func TestBatchedServeFaultReplayDeterminism(t *testing.T) {
 	c := mcn.ServeFaultsBatched(78)
 	if c.String() == a.String() {
 		t.Fatal("different seed replayed the identical result; injection looks seed-independent")
+	}
+
+	// Same experiment with the admission plane armed: the breaker must
+	// open at least once, every transition lands in the rendered timeline,
+	// and the replay — jittered backoff windows included — stays
+	// byte-identical per seed and distinct across seeds.
+	aa := mcn.ServeFaultsAdmitted(77)
+	if !aa.Admitted {
+		t.Fatal("run does not report admission enabled")
+	}
+	if aa.Result.AdmitCounters.Opens < 1 {
+		t.Fatalf("flap never opened a breaker: %s", aa.Result.AdmitCounters.String())
+	}
+	if len(aa.Result.AdmitEvents) == 0 {
+		t.Fatal("breaker opened but the health timeline is empty")
+	}
+	ab := mcn.ServeFaultsAdmitted(77)
+	if aa.String() != ab.String() {
+		t.Fatalf("same seed, different admitted fault replay:\n--- run A ---\n%s--- run B ---\n%s", aa, ab)
+	}
+	ac := mcn.ServeFaultsAdmitted(78)
+	if ac.String() == aa.String() {
+		t.Fatal("different seed replayed the identical admitted result")
 	}
 }
 

@@ -38,6 +38,8 @@ type runJSON struct {
 	P99Ns      float64        `json:"p99_ns"`
 	P999Ns     float64        `json:"p999_ns"`
 	MaxNs      float64        `json:"max_ns"`
+	Shed       int64          `json:"shed,omitempty"`
+	Rerouted   int64          `json:"rerouted,omitempty"`
 	Degraded   []int          `json:"degraded,omitempty"`
 	Shards     []runShardJSON `json:"shards"`
 }
@@ -48,17 +50,32 @@ type runShardJSON struct {
 	N          int64   `json:"n"`
 	Errors     int64   `json:"errors"`
 	Unfinished int64   `json:"unfinished"`
+	Shed       int64   `json:"shed,omitempty"`
+	Rerouted   int64   `json:"rerouted,omitempty"`
 	P99Ns      float64 `json:"p99_ns"`
 	MaxNs      int64   `json:"max_ns"`
 }
 
 // benchJSON is the BENCH_serve.json shape: the qps-at-SLO headline per
-// topology plus the full curves behind it.
+// topology, the full curves behind it, and the DIMM-flap fault run with
+// admission control off vs on.
 type benchJSON struct {
 	Seed     uint64             `json:"seed"`
 	SLONs    float64            `json:"slo_p99_ns"`
 	QpsAtSLO map[string]float64 `json:"qps_at_slo"`
 	Curves   []benchCurveJSON   `json:"curves"`
+	Faults   benchFaultsJSON    `json:"faults"`
+}
+
+// benchFaultsJSON is the fault-window headline: p99 (ns) over a measured
+// window containing a 2ms DIMM flap, with admission off, re-routing, and
+// shedding.
+type benchFaultsJSON struct {
+	P99OffNs     float64 `json:"p99_off_ns"`
+	P99RerouteNs float64 `json:"p99_reroute_ns"`
+	P99ShedNs    float64 `json:"p99_shed_ns"`
+	Rerouted     int64   `json:"rerouted"`
+	Shed         int64   `json:"shed"`
 }
 
 type benchCurveJSON struct {
@@ -78,7 +95,7 @@ type benchPointJSON struct {
 
 func main() {
 	seed := flag.Uint64("seed", 42, "random seed; the same seed replays bit-identically")
-	topo := flag.String("topo", "mcn5", "serving topology: mcn0, mcn5, 10gbe, scaleup, or any with a +batch suffix (request batching)")
+	topo := flag.String("topo", "mcn5", "serving topology: mcn0, mcn5, 10gbe, scaleup, or any with +batch (request batching) and/or +admit (admission control) suffixes")
 	rate := flag.Float64("rate", 400e3, "open-loop offered load, requests/sec")
 	workers := flag.Int("closed", 0, "closed-loop worker count (overrides -rate)")
 	curve := flag.Bool("curve", false, "sweep the full latency-vs-load curve over every topology")
@@ -120,7 +137,12 @@ func main() {
 			}
 			b.Curves = append(b.Curves, bc)
 		}
-		value, text = b, r.String()
+		fr := mcn.ServeAdmit(*seed)
+		b.Faults = benchFaultsJSON{
+			P99OffNs: fr.P99Off(), P99RerouteNs: fr.P99Reroute(), P99ShedNs: fr.P99Shed(),
+			Rerouted: fr.Reroute.Rerouted, Shed: fr.Shed.Shed,
+		}
+		value, text = b, r.String()+"\n"+fr.String()
 		*jsonOut = *jsonOut || *out != "" // the bench artifact is always JSON
 	case *curve:
 		r := mcn.ServeCurve(*seed, ladder)
@@ -133,12 +155,14 @@ func main() {
 			QPS: res.QPS, N: res.N, Errors: res.Errors, Unfinished: res.Unfinished,
 			P50Ns: res.Total.Quantile(0.50), P95Ns: res.Total.Quantile(0.95),
 			P99Ns: res.Total.Quantile(0.99), P999Ns: res.Total.Quantile(0.999),
-			MaxNs: float64(res.Total.Max()), Degraded: res.Degraded(),
+			MaxNs: float64(res.Total.Max()), Shed: res.Shed, Rerouted: res.Rerouted,
+			Degraded: res.Degraded(),
 		}
 		for _, ss := range res.PerShard {
 			j.Shards = append(j.Shards, runShardJSON{
 				Shard: ss.Shard, Name: ss.Name, N: ss.N, Errors: ss.Errors,
-				Unfinished: ss.Unfinished, P99Ns: ss.Lat.Quantile(0.99), MaxNs: ss.Lat.Max(),
+				Unfinished: ss.Unfinished, Shed: ss.Shed, Rerouted: ss.Rerouted,
+				P99Ns: ss.Lat.Quantile(0.99), MaxNs: ss.Lat.Max(),
 			})
 		}
 		value, text = j, res.String()

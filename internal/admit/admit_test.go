@@ -1,0 +1,288 @@
+package admit
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/mcn-arch/mcn/internal/sim"
+)
+
+// newTest builds a controller over two shards with a fast, jitter-heavy
+// configuration so tests exercise the backoff arithmetic.
+func newTest(seed uint64, cfg Config) (*sim.Kernel, *Controller) {
+	k := sim.NewKernel()
+	cfg.On = true
+	return k, NewWithConfig(k, cfg, seed, []string{"shard-a", "shard-b"})
+}
+
+func TestDefaults(t *testing.T) {
+	cfg := Config{On: true}.WithDefaults()
+	if cfg.Timeout == 0 || cfg.OpenBase == 0 || cfg.OpenMax == 0 ||
+		cfg.Edges == 0 || cfg.ProbeSuccesses == 0 || cfg.EWMAAlpha == 0 || cfg.JitterFrac == 0 {
+		t.Fatalf("defaults left zero fields: %+v", cfg)
+	}
+	if !cfg.Enabled() {
+		t.Fatal("On=true not Enabled")
+	}
+	if (Config{}).Enabled() {
+		t.Fatal("zero config reports enabled")
+	}
+	if Closed.String() != "closed" || Open.String() != "open" || HalfOpen.String() != "half-open" {
+		t.Fatal("state names changed; the health timeline depends on them")
+	}
+	if Reroute.String() != "reroute" || Shed.String() != "shed" {
+		t.Fatal("policy names changed")
+	}
+}
+
+func TestHealthyTrafficStaysClosed(t *testing.T) {
+	k, c := newTest(1, Config{})
+	for i := 0; i < 1000; i++ {
+		if !c.Allow(0) {
+			t.Fatalf("healthy shard denied at request %d", i)
+		}
+		c.OnSend(0)
+		k.RunFor(10 * sim.Microsecond) // well under the 200us timeout
+		c.OnComplete(0, 10_000, true)
+	}
+	if c.State(0) != Closed || c.EverOpened(0) {
+		t.Fatalf("healthy shard left closed: state=%v everOpened=%v", c.State(0), c.EverOpened(0))
+	}
+	if len(c.Events()) != 0 {
+		t.Fatalf("healthy run produced %d breaker events", len(c.Events()))
+	}
+	if got := c.EWMA(0); got != 10_000 {
+		t.Fatalf("EWMA of constant 10us stream = %.0f, want 10000", got)
+	}
+	if c.Counters().Opens != 0 {
+		t.Fatalf("healthy counters: %+v", c.Counters())
+	}
+}
+
+func TestTimeoutOpensAndProbesClose(t *testing.T) {
+	k, c := newTest(2, Config{})
+	cfg := c.Config()
+
+	// A request goes out and never comes back: the next Allow after
+	// Timeout must count the edge and open the breaker.
+	c.OnSend(0)
+	k.RunFor(cfg.Timeout + sim.Microsecond)
+	if c.Allow(0) {
+		t.Fatal("post-timeout Allow admitted; the edge must open the breaker before the verdict")
+	}
+	if c.State(0) != Open {
+		t.Fatalf("state after timeout edge = %v, want open", c.State(0))
+	}
+	if c.Allow(0) {
+		t.Fatal("open breaker admitted a request")
+	}
+	if c.Allow(1) != true {
+		t.Fatal("shard-b breaker tripped by shard-a's timeout")
+	}
+
+	// Before the window expires: still denied.
+	k.RunFor(cfg.OpenBase / 2)
+	if c.Allow(0) {
+		t.Fatal("open breaker admitted before the window expired")
+	}
+
+	// After the (jittered) window: half-open, probes admitted up to the
+	// success quota, further traffic denied.
+	k.RunFor(cfg.OpenBase)
+	if !c.Allow(0) {
+		t.Fatal("expired window denied the first probe")
+	}
+	if c.State(0) != HalfOpen {
+		t.Fatalf("state after window = %v, want half-open", c.State(0))
+	}
+	if !c.Allow(0) {
+		t.Fatal("second probe denied (quota is ProbeSuccesses)")
+	}
+	if c.Allow(0) {
+		t.Fatal("probe quota not enforced")
+	}
+
+	// Both probes complete fast: the breaker closes and backoff resets.
+	// The connection is FIFO, so the originally stuck request's RTO-style
+	// completion arrives first; being stale it must not count as a probe.
+	c.OnSend(0)
+	c.OnSend(0)
+	k.RunFor(5 * sim.Microsecond)
+	c.OnComplete(0, 50_000_000, true)
+	if c.State(0) != HalfOpen {
+		t.Fatalf("stale completion moved state to %v", c.State(0))
+	}
+	c.OnComplete(0, 5_000, true)
+	c.OnComplete(0, 5_000, true)
+	if c.State(0) != Closed {
+		t.Fatalf("state after successful probes = %v, want closed", c.State(0))
+	}
+	if !c.EverOpened(0) {
+		t.Fatal("EverOpened lost the open episode")
+	}
+	got := c.Counters()
+	if got.Opens != 1 || got.HalfOpens != 1 || got.Closes != 1 || got.Probes != 2 {
+		t.Fatalf("counters after one cycle: %+v", got)
+	}
+	// closed->open, open->half-open, half-open->closed.
+	if len(c.Events()) != 3 {
+		t.Fatalf("event trace has %d entries, want 3: %v", len(c.Events()), c.Events())
+	}
+	if e := c.Events()[0]; e.From != "closed" || e.To != "open" || e.Reason != "timeout" || e.Shard != 0 {
+		t.Fatalf("first event %+v", e)
+	}
+}
+
+func TestProbeTimeoutReopensWithBackoff(t *testing.T) {
+	k, c := newTest(3, Config{JitterFrac: 1e-9}) // effectively unjittered windows
+	cfg := c.Config()
+
+	// Trip the breaker with a stuck request.
+	c.OnSend(0)
+	k.RunFor(cfg.Timeout * 2)
+	c.Allow(0)
+	if c.State(0) != Open {
+		t.Fatal("setup: breaker not open")
+	}
+	firstWindow := c.trackers[0].reopenAt.Sub(k.Now())
+
+	// Window expires; the probe goes out and also gets stuck.
+	k.RunFor(cfg.OpenBase + sim.Microsecond)
+	if !c.Allow(0) {
+		t.Fatal("probe denied")
+	}
+	c.OnSend(0)
+	k.RunFor(cfg.Timeout + sim.Microsecond)
+	c.Allow(0) // detects the stuck probe, reopens
+	if c.State(0) != Open {
+		t.Fatalf("stuck probe left state %v, want open", c.State(0))
+	}
+	secondWindow := c.trackers[0].reopenAt.Sub(k.Now())
+	if secondWindow < firstWindow*3/2 {
+		t.Fatalf("backoff did not grow: first=%v second=%v", firstWindow, secondWindow)
+	}
+	if got := c.Counters(); got.Opens != 2 || got.Closes != 0 {
+		t.Fatalf("counters after reopen: %+v", got)
+	}
+
+	// The stale stuck probe finally completes (RTO-style): it must not
+	// count as a probe outcome for the next half-open window.
+	k.RunFor(cfg.OpenBase * 4)
+	if !c.Allow(0) { // half-open again
+		t.Fatal("second half-open denied its probe")
+	}
+	c.OnComplete(0, 50_000_000, true) // the stale completion pops first
+	if c.State(0) != HalfOpen {
+		t.Fatalf("stale completion moved state to %v", c.State(0))
+	}
+}
+
+func TestErrorEdgesOpen(t *testing.T) {
+	k, c := newTest(4, Config{Edges: 3})
+	_ = k
+	for i := 0; i < 2; i++ {
+		c.OnError(0)
+		if c.State(0) != Closed {
+			t.Fatalf("opened after %d of 3 edges", i+1)
+		}
+	}
+	c.OnError(0)
+	if c.State(0) != Open {
+		t.Fatal("3 error edges did not open the breaker")
+	}
+	// A sent request failing (conn death) also counts as an edge.
+	if c.State(1) != Closed {
+		t.Fatal("shard-b not closed")
+	}
+	c.OnSend(1)
+	c.OnComplete(1, 0, false)
+	c.OnSend(1)
+	c.OnComplete(1, 0, false)
+	c.OnSend(1)
+	c.OnComplete(1, 0, false)
+	if c.State(1) != Open {
+		t.Fatal("3 failed completions did not open the breaker")
+	}
+}
+
+func TestJitterIsSeedDeterministic(t *testing.T) {
+	trip := func(seed uint64) []sim.Time {
+		k, c := newTest(seed, Config{})
+		cfg := c.Config()
+		var reopens []sim.Time
+		for cycle := 0; cycle < 4; cycle++ {
+			c.OnSend(0)
+			k.RunFor(cfg.Timeout * 2)
+			c.Allow(0)
+			if c.State(0) != Open {
+				t.Fatalf("seed %d cycle %d: not open", seed, cycle)
+			}
+			reopens = append(reopens, c.trackers[0].reopenAt)
+			// Let the window expire, admit and wedge the probe, repeat.
+			k.RunUntil(c.trackers[0].reopenAt.Add(sim.Microsecond))
+			c.Allow(0)
+		}
+		return reopens
+	}
+	a, b := trip(42), trip(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed, reopen %d diverged: %v vs %v", i, a[i], b[i])
+		}
+	}
+	d := trip(43)
+	same := true
+	for i := range a {
+		if a[i] != d[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical jittered windows")
+	}
+}
+
+func TestEventTraceRendering(t *testing.T) {
+	k, c := newTest(5, Config{})
+	c.OnSend(1)
+	k.RunFor(c.Config().Timeout * 2)
+	c.Allow(1)
+	evs := c.Events()
+	if len(evs) != 1 {
+		t.Fatalf("want 1 event, got %d", len(evs))
+	}
+	want := fmt.Sprintf("[%v] shard 1 shard-b closed->open (timeout)", evs[0].T)
+	if evs[0].String() != want {
+		t.Fatalf("event rendering %q, want %q", evs[0].String(), want)
+	}
+}
+
+func TestNoteCounters(t *testing.T) {
+	_, c := newTest(6, Config{})
+	c.NoteShed()
+	c.NoteShed()
+	c.NoteReroute()
+	got := c.Counters()
+	if got.Shed != 2 || got.Rerouted != 1 {
+		t.Fatalf("note counters: %+v", got)
+	}
+	if got.Total() != 0 {
+		t.Fatalf("Total counts per-request notes: %+v", got)
+	}
+}
+
+func TestEWMATracksLatency(t *testing.T) {
+	k, c := newTest(7, Config{EWMAAlpha: 0.5})
+	c.OnSend(0)
+	k.RunFor(sim.Microsecond)
+	c.OnComplete(0, 10_000, true)
+	c.OnSend(0)
+	k.RunFor(sim.Microsecond)
+	c.OnComplete(0, 20_000, true)
+	if got := c.EWMA(0); got != 15_000 {
+		t.Fatalf("EWMA = %.0f, want 15000", got)
+	}
+	if c.Outstanding(0) != 0 {
+		t.Fatalf("outstanding = %d after completions", c.Outstanding(0))
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"github.com/mcn-arch/mcn/internal/admit"
 	"github.com/mcn-arch/mcn/internal/cluster"
 	"github.com/mcn-arch/mcn/internal/core"
 	"github.com/mcn-arch/mcn/internal/faults"
@@ -33,8 +34,10 @@ const DefaultServeSLONs = 40e3 // 40us
 
 // ServeTopos lists the serving topologies in presentation order. A
 // "+batch" suffix runs the same fabric with request batching on the
-// shard connections (DefaultServeBatch).
-var ServeTopos = []string{"mcn0", "mcn5", "mcn0+batch", "mcn5+batch", "10gbe", "scaleup"}
+// shard connections (DefaultServeBatch); a "+admit" suffix adds the
+// admission-control plane (DefaultServeAdmit). Suffixes compose in any
+// order.
+var ServeTopos = []string{"mcn0", "mcn5", "mcn0+batch", "mcn5+batch", "mcn5+batch+admit", "10gbe", "scaleup"}
 
 // DefaultServeBatch is the coalescing bound the "+batch" topologies use:
 // flush at 16 requests, 8KB, or 2us after the first dequeue — whichever
@@ -44,6 +47,13 @@ var ServeTopos = []string{"mcn0", "mcn5", "mcn0+batch", "mcn5+batch", "10gbe", "
 // inter-arrival gaps near the knee, where it roughly doubles the
 // requests per segment and moves the saturation knee by ~50%.
 var DefaultServeBatch = serve.BatchConfig{MaxRequests: 16, MaxBytes: 8 << 10, Window: 2 * sim.Microsecond}
+
+// DefaultServeAdmit is the admission-control configuration the "+admit"
+// topologies use: the internal/admit defaults (200us outstanding-age
+// timeout, 1ms..8ms jittered backoff, 2-probe recovery) with the re-route
+// policy, so a tripped shard's keys fall through to the next vnode owner
+// instead of fast-failing.
+var DefaultServeAdmit = admit.Config{On: true, Policy: admit.Reroute}
 
 // ServePoint is one offered-load point of one topology's curve.
 type ServePoint struct {
@@ -150,10 +160,23 @@ func buildServeTopo(k *sim.Kernel, topo string) (shards []serve.Shard, clients [
 }
 
 // runServe executes one point: fresh kernel, topology, measured run. A
-// "+batch" suffix on topo enables DefaultServeBatch on the fabric it
-// names.
+// "+batch" suffix on topo enables DefaultServeBatch and a "+admit" suffix
+// DefaultServeAdmit on the fabric the remainder names; suffixes compose
+// in any order ("mcn5+batch+admit" == "mcn5+admit+batch").
 func runServe(seed uint64, topo string, rate float64, plan *faults.Plan, mutate func(*serve.Config)) *serve.Result {
-	fabric, batched := strings.CutSuffix(topo, "+batch")
+	fabric := topo
+	var batched, admitted bool
+	for {
+		if f, ok := strings.CutSuffix(fabric, "+batch"); ok {
+			fabric, batched = f, true
+			continue
+		}
+		if f, ok := strings.CutSuffix(fabric, "+admit"); ok {
+			fabric, admitted = f, true
+			continue
+		}
+		break
+	}
 	k := sim.NewKernel()
 	shards, clients, inject := buildServeTopo(k, fabric)
 	if plan != nil {
@@ -163,6 +186,9 @@ func runServe(seed uint64, topo string, rate float64, plan *faults.Plan, mutate 
 	cfg.Shards, cfg.Clients = shards, clients
 	if batched {
 		cfg.Batch = DefaultServeBatch
+	}
+	if admitted {
+		cfg.Admit = DefaultServeAdmit
 	}
 	if mutate != nil {
 		mutate(&cfg)
@@ -174,8 +200,9 @@ func runServe(seed uint64, topo string, rate float64, plan *faults.Plan, mutate 
 
 // ServeOnce runs one point of the serving benchmark on the named topology
 // ("mcn0", "mcn5", "10gbe", "scaleup", or any of these with a "+batch"
-// suffix for request batching). closedWorkers > 0 switches to the
-// closed-loop driver and ignores rate.
+// suffix for request batching and/or a "+admit" suffix for admission
+// control). closedWorkers > 0 switches to the closed-loop driver and
+// ignores rate.
 func ServeOnce(seed uint64, topo string, rate float64, closedWorkers int) *serve.Result {
 	return runServe(seed, topo, rate, nil, func(c *serve.Config) {
 		if closedWorkers > 0 {
@@ -243,6 +270,7 @@ func (r *ServeCurveResult) String() string {
 type ServeFaultsResult struct {
 	Seed       uint64
 	Batched    bool
+	Admitted   bool
 	FlapDimm   string
 	FlapStart  sim.Time
 	FlapEnd    sim.Time
@@ -256,14 +284,24 @@ type ServeFaultsResult struct {
 // kernel is driven to a fixed deadline); the flapped shard shows up as
 // degraded — errors, unfinished requests, or a collapsed tail — while the
 // other shards keep serving.
-func ServeFaults(seed uint64) *ServeFaultsResult { return serveFaults(seed, false) }
+func ServeFaults(seed uint64) *ServeFaultsResult { return serveFaults(seed, false, admit.Config{}) }
 
 // ServeFaultsBatched is ServeFaults with request batching on the shard
 // connections — the determinism and degradation story must hold with the
 // coalescing window in the path.
-func ServeFaultsBatched(seed uint64) *ServeFaultsResult { return serveFaults(seed, true) }
+func ServeFaultsBatched(seed uint64) *ServeFaultsResult {
+	return serveFaults(seed, true, admit.Config{})
+}
 
-func serveFaults(seed uint64, batched bool) *ServeFaultsResult {
+// ServeFaultsAdmitted is ServeFaultsBatched with the admission-control
+// plane between the drivers and the router: the flapped shard's breaker
+// opens, traffic re-routes to the next vnode owners, and the breaker
+// event trace replays byte-identically from the seed.
+func ServeFaultsAdmitted(seed uint64) *ServeFaultsResult {
+	return serveFaults(seed, true, DefaultServeAdmit)
+}
+
+func serveFaults(seed uint64, batched bool, admitCfg admit.Config) *ServeFaultsResult {
 	const flapDimm = "host/mcn3"
 	cfg := serveConfig(seed, 200e3)
 	// Give the drain room for the RTO-driven recovery after the flap.
@@ -271,6 +309,7 @@ func serveFaults(seed uint64, batched bool) *ServeFaultsResult {
 	if batched {
 		cfg.Batch = DefaultServeBatch
 	}
+	cfg.Admit = admitCfg
 
 	k := sim.NewKernel()
 	shards, clients, inject := buildServeTopo(k, "mcn5")
@@ -287,7 +326,8 @@ func serveFaults(seed uint64, batched bool) *ServeFaultsResult {
 	k.Shutdown()
 
 	out := &ServeFaultsResult{
-		Seed: seed, Batched: batched, FlapDimm: flapDimm, FlapStart: flapStart, FlapEnd: flapEnd,
+		Seed: seed, Batched: batched, Admitted: admitCfg.Enabled(),
+		FlapDimm: flapDimm, FlapStart: flapStart, FlapEnd: flapEnd,
 		Result: r, Degraded: r.Degraded(),
 	}
 	for _, s := range out.Degraded {
@@ -303,9 +343,94 @@ func (r *ServeFaultsResult) String() string {
 	if r.Batched {
 		mode = ", batched"
 	}
+	if r.Admitted {
+		mode += ", admitted"
+	}
 	fmt.Fprintf(&b, "serving under a DIMM flap: %s offline [%v, %v) (seed %d%s)\n",
 		r.FlapDimm, r.FlapStart, r.FlapEnd, r.Seed, mode)
 	b.WriteString(r.Result.String())
+	return b.String()
+}
+
+// ServeAdmitResult is the admission-control A/B/B' under a DIMM flap:
+// identical topology, seed, flap window and offered load, run with
+// admission off, with the re-route policy, and with the shed policy. The
+// headline is the fault-window p99: unadmitted it rides the TCP
+// retransmission timeout, admitted it stays bounded near the healthy
+// tail because post-detection traffic never waits on the dead shard.
+type ServeAdmitResult struct {
+	Seed      uint64
+	FlapDimm  string
+	FlapStart sim.Time
+	FlapEnd   sim.Time
+	Off       *serve.Result
+	Reroute   *serve.Result
+	Shed      *serve.Result
+}
+
+// serveAdmitConfig is the flap run the A/B sweeps share: the measured
+// window is long relative to the 2ms flap so the p99 verdict reflects
+// what admission can control (traffic after the first timeout edge)
+// rather than the handful of requests unavoidably trapped before it.
+func serveAdmitConfig(seed uint64) serve.Config {
+	cfg := serveConfig(seed, 200e3)
+	cfg.Measure = 15 * sim.Millisecond
+	cfg.Drain = 20 * sim.Millisecond
+	cfg.Batch = DefaultServeBatch
+	return cfg
+}
+
+// ServeAdmit runs the DIMM-flap serving experiment three ways — admission
+// off, re-route, shed — on the mcn5+batch fabric. Every stream derives
+// from the seed, so each variant replays bit-identically.
+func ServeAdmit(seed uint64) *ServeAdmitResult {
+	const flapDimm = "host/mcn3"
+	out := &ServeAdmitResult{Seed: seed, FlapDimm: flapDimm}
+	variants := []struct {
+		res   **serve.Result
+		admit admit.Config
+	}{
+		{&out.Off, admit.Config{}},
+		{&out.Reroute, admit.Config{On: true, Policy: admit.Reroute}},
+		{&out.Shed, admit.Config{On: true, Policy: admit.Shed}},
+	}
+	for _, v := range variants {
+		k := sim.NewKernel()
+		shards, clients, inject := buildServeTopo(k, "mcn5")
+		cfg := serveAdmitConfig(seed)
+		cfg.Shards, cfg.Clients = shards, clients
+		cfg.Admit = v.admit
+		measStart := k.Now().Add(cfg.Warmup)
+		out.FlapStart = measStart.Add(sim.Millisecond)
+		out.FlapEnd = out.FlapStart.Add(2 * sim.Millisecond)
+		inject(faults.New(k, faults.Plan{
+			Seed:      seed,
+			DimmFlaps: []faults.DimmFlap{{Name: flapDimm, Start: out.FlapStart, End: out.FlapEnd}},
+		}))
+		*v.res = serve.Run(k, cfg)
+		k.Shutdown()
+	}
+	return out
+}
+
+// P99Off, P99Reroute and P99Shed are the fault-window p99s (ns).
+func (r *ServeAdmitResult) P99Off() float64     { return r.Off.Total.Quantile(0.99) }
+func (r *ServeAdmitResult) P99Reroute() float64 { return r.Reroute.Total.Quantile(0.99) }
+func (r *ServeAdmitResult) P99Shed() float64    { return r.Shed.Total.Quantile(0.99) }
+
+// String renders the A/B/B' with the fault-window tail headline.
+func (r *ServeAdmitResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "admission control under a DIMM flap: %s offline [%v, %v), mcn5+batch (seed %d)\n",
+		r.FlapDimm, r.FlapStart, r.FlapEnd, r.Seed)
+	for _, v := range []struct {
+		name string
+		res  *serve.Result
+	}{{"admit=off", r.Off}, {"admit=reroute", r.Reroute}, {"admit=shed", r.Shed}} {
+		fmt.Fprintf(&b, "--- %s ---\n%s", v.name, v.res)
+	}
+	fmt.Fprintf(&b, "fault-window p99: off=%.1fus reroute=%.1fus shed=%.1fus | rerouted=%d shed=%d\n",
+		r.P99Off()/1e3, r.P99Reroute()/1e3, r.P99Shed()/1e3, r.Reroute.Rerouted, r.Shed.Shed)
 	return b.String()
 }
 
@@ -318,8 +443,8 @@ type ServeBatchResult struct {
 	Batched   ServeTopoCurve
 	// LowLoadRate is the lowest swept rate; the p99 pair there shows the
 	// flush-on-idle guarantee (batching must not tax sparse traffic).
-	LowLoadRate                  float64
-	LowLoadP99Off, LowLoadP99On  float64
+	LowLoadRate                     float64
+	LowLoadP99Off, LowLoadP99On     float64
 	BatchMeanAtKnee, BatchMaxAtKnee float64
 }
 

@@ -68,6 +68,44 @@ func TestServeCurveDeterministic(t *testing.T) {
 	}
 }
 
+func TestServeAdmitBoundsFaultTail(t *testing.T) {
+	// The PR's headline: under a mid-window DIMM flap, both admission
+	// policies keep the measured p99 at healthy scale while the unadmitted
+	// run's p99 rides the TCP retransmission timeout.
+	r := ServeAdmit(42)
+	if r.Off.AdmitOn {
+		t.Fatal("the admission-off run reports the admission plane on")
+	}
+	if !r.Reroute.AdmitOn || !r.Shed.AdmitOn {
+		t.Fatal("an admitted run reports the admission plane off")
+	}
+	if r.P99Reroute() >= r.P99Off() || r.P99Shed() >= r.P99Off() {
+		t.Fatalf("admission did not bound the fault-window p99: off=%.0fns reroute=%.0fns shed=%.0fns",
+			r.P99Off(), r.P99Reroute(), r.P99Shed())
+	}
+	if r.P99Reroute() > r.P99Off()/10 || r.P99Shed() > r.P99Off()/10 {
+		t.Errorf("admitted fault-window p99 not well below unadmitted: off=%.0fns reroute=%.0fns shed=%.0fns",
+			r.P99Off(), r.P99Reroute(), r.P99Shed())
+	}
+	if r.Reroute.Rerouted == 0 {
+		t.Error("re-route policy moved no requests off the flapped shard")
+	}
+	if r.Shed.Shed == 0 {
+		t.Error("shed policy fast-failed no requests")
+	}
+	for _, v := range []struct {
+		name   string
+		events int
+	}{{"reroute", len(r.Reroute.AdmitEvents)}, {"shed", len(r.Shed.AdmitEvents)}} {
+		if v.events == 0 {
+			t.Errorf("%s run produced no breaker events under the flap", v.name)
+		}
+	}
+	if r.String() == "" {
+		t.Fatal("empty rendition")
+	}
+}
+
 func TestServeFaultsReportsDegradedShard(t *testing.T) {
 	// Integration: a DIMM flap mid-measurement must neither hang the run
 	// nor corrupt the other shards, and the flapped shard must be called

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"github.com/mcn-arch/mcn/internal/admit"
 	"github.com/mcn-arch/mcn/internal/cluster"
 	"github.com/mcn-arch/mcn/internal/kvstore"
 	"github.com/mcn-arch/mcn/internal/netstack"
@@ -57,6 +58,12 @@ type Config struct {
 	// Batch bounds the per-connection coalescing window; the zero value
 	// disables batching (one request per Send).
 	Batch BatchConfig
+	// Admit enables the admission-control plane (internal/admit): per-shard
+	// breakers between the load driver and the router that shed or re-route
+	// requests to shards detected unresponsive, bounding the fault-time
+	// tail at the router instead of riding the TCP RTO. The zero value
+	// disables it.
+	Admit admit.Config
 	// Warmup requests are issued but not measured; Measure is the
 	// recorded window; Drain lets in-flight tails complete before the
 	// run is cut off and stragglers are counted as unfinished.
@@ -139,6 +146,11 @@ type ShardStats struct {
 	// Unfinished counts in-window requests still queued or in flight when
 	// the run was cut off (a hung or offline shard shows up here).
 	Unfinished int64
+	// Shed counts in-window requests fast-failed at the router because
+	// this shard (their primary owner) was open and no candidate admitted
+	// them; Rerouted counts in-window requests this shard absorbed from
+	// open peers. Both stay 0 with admission off.
+	Shed, Rerouted int64
 	// Lat is the shard's total-latency histogram (measured window only).
 	Lat stats.HDR
 }
@@ -162,6 +174,18 @@ type Result struct {
 	// BatchSize records requests per flushed batch (measured window).
 	BatchSize stats.HDR
 	PerShard  []*ShardStats
+	// AdmitOn records whether the admission-control plane ran; the fields
+	// below are only populated when it did. Shed and Rerouted are the
+	// in-window per-request admission outcomes (Shed requests are counted
+	// separately from Errors — they carry a distinct fast-fail status and
+	// never enter the latency histograms). AdmitCounters is the
+	// whole-run controller tally and AdmitEvents the per-shard breaker
+	// health timeline, in event order.
+	AdmitOn       bool
+	Shed          int64
+	Rerouted      int64
+	AdmitCounters stats.AdmitCounters
+	AdmitEvents   []stats.HealthEvent
 }
 
 // Summary is the warmup-trimmed headline of a run; latencies are in
@@ -195,9 +219,29 @@ func (s Summary) String() string {
 // away mid-run and recovered through retransmission timeouts.
 const degradedFactor = 8
 
-// Degraded returns the shards that failed requests, left requests
-// unfinished, or whose tail collapsed relative to the rest of the fleet.
+// Degraded returns the unhealthy shards. With admission control on, the
+// verdict reads the breaker health timeline — a shard is degraded iff its
+// breaker ever opened, it shed traffic, or it failed/stranded requests —
+// so post-hoc detection can never disagree with the control plane that
+// acted during the run. With admission off the original latency heuristic
+// is the fallback: errors, unfinished requests, or a tail collapsed
+// relative to the rest of the fleet.
 func (r *Result) Degraded() []int {
+	if r.AdmitOn {
+		opened := make(map[int]bool)
+		for _, e := range r.AdmitEvents {
+			if e.To == "open" {
+				opened[e.Shard] = true
+			}
+		}
+		var out []int
+		for _, ss := range r.PerShard {
+			if ss.Errors > 0 || ss.Unfinished > 0 || ss.Shed > 0 || opened[ss.Shard] {
+				out = append(out, ss.Shard)
+			}
+		}
+		return out
+	}
 	var maxes []int64
 	for _, ss := range r.PerShard {
 		if ss.N > 0 {
@@ -236,11 +280,20 @@ func (r *Result) String() string {
 	if r.Errors > 0 || r.Unfinished > 0 {
 		fmt.Fprintf(&b, "  errors=%d unfinished=%d\n", r.Errors, r.Unfinished)
 	}
+	if r.AdmitOn {
+		fmt.Fprintf(&b, "  admit   %s\n", r.AdmitCounters.String())
+		for _, e := range r.AdmitEvents {
+			fmt.Fprintf(&b, "    %s\n", e)
+		}
+	}
 	for _, ss := range r.PerShard {
 		fmt.Fprintf(&b, "  shard %d %-12s n=%-6d p99=%9.1fus max=%9.1fus",
 			ss.Shard, ss.Name, ss.N, ss.Lat.Quantile(0.99)/1e3, float64(ss.Lat.Max())/1e3)
 		if ss.Errors > 0 || ss.Unfinished > 0 {
 			fmt.Fprintf(&b, " errors=%d unfinished=%d", ss.Errors, ss.Unfinished)
+		}
+		if ss.Shed > 0 || ss.Rerouted > 0 {
+			fmt.Fprintf(&b, " shed=%d rerouted=%d", ss.Shed, ss.Rerouted)
 		}
 		fmt.Fprintln(&b)
 	}
@@ -260,8 +313,12 @@ type bench struct {
 	cfg      Config
 	keys     []string
 	keyShard []int
-	conns    [][]*shardConn // [client][shard]
-	res      *Result
+	// keyOwners is each key's ring-ordered owner list (primary first),
+	// precomputed only when the re-route policy needs fallback owners.
+	keyOwners [][]int
+	conns     [][]*shardConn // [client][shard]
+	ctrl      *admit.Controller
+	res       *Result
 
 	measStart, measEnd sim.Time
 }
@@ -320,6 +377,24 @@ func Run(k *sim.Kernel, cfg Config) *Result {
 	}
 	for si := range cfg.Shards {
 		b.res.PerShard = append(b.res.PerShard, &ShardStats{Shard: si, Name: cfg.Shards[si].Name})
+	}
+
+	// The admission-control plane sits between the drivers and the router:
+	// one breaker per shard, every decision on the simulated clock, jitter
+	// seeded from the run seed so fault replays stay byte-identical.
+	if cfg.Admit.Enabled() {
+		names := make([]string, len(cfg.Shards))
+		for si := range cfg.Shards {
+			names[si] = cfg.Shards[si].Name
+		}
+		b.ctrl = admit.NewWithConfig(k, cfg.Admit, cfg.Seed, names)
+		b.res.AdmitOn = true
+		if cfg.Admit.Policy == admit.Reroute {
+			b.keyOwners = make([][]int, w.Keys)
+			for i := range b.keys {
+				b.keyOwners[i] = router.Owners(b.keys[i], len(cfg.Shards))
+			}
+		}
 	}
 
 	// One pipelined connection per (client, shard).
@@ -408,18 +483,57 @@ func (b *bench) closedWorker(p *sim.Proc, ci int, gen *generator) {
 		}
 		op, key := gen.next()
 		req := &request{op: op, key: key, arrival: now, done: b.k.NewSignal()}
-		b.enqueue(p, ci, req)
+		if !b.enqueue(p, ci, req) {
+			// Shed at the router: the fast-fail comes straight back, so
+			// the worker turns around after a client-side beat instead of
+			// spinning at one simulated instant.
+			p.Sleep(sim.Microsecond)
+			continue
+		}
 		req.done.Wait(p)
 	}
 }
 
-// enqueue routes one request to its shard connection.
-func (b *bench) enqueue(p *sim.Proc, ci int, req *request) {
+// enqueue routes one request through admission control (when enabled) to a
+// shard connection. It reports false when the request was shed — every
+// candidate shard's breaker was open.
+func (b *bench) enqueue(p *sim.Proc, ci int, req *request) bool {
 	req.shard = b.keyShard[req.key]
+	if b.ctrl != nil {
+		target := -1
+		if b.ctrl.Allow(req.shard) {
+			target = req.shard
+		} else if b.cfg.Admit.Policy == admit.Reroute {
+			for _, s := range b.keyOwners[req.key][1:] {
+				if b.ctrl.Allow(s) {
+					target = s
+					break
+				}
+			}
+		}
+		inWindow := req.arrival >= b.measStart && req.arrival < b.measEnd
+		if target < 0 {
+			b.ctrl.NoteShed()
+			if inWindow {
+				b.res.Shed++
+				b.res.PerShard[req.shard].Shed++
+			}
+			return false
+		}
+		if target != req.shard {
+			b.ctrl.NoteReroute()
+			req.shard = target
+			if inWindow {
+				b.res.Rerouted++
+				b.res.PerShard[target].Rerouted++
+			}
+		}
+	}
 	if req.arrival >= b.measStart && req.arrival < b.measEnd {
 		b.res.PerShard[req.shard].Issued++
 	}
 	b.conns[ci][req.shard].q.Put(p, req)
+	return true
 }
 
 // reqBytes is the encoded size of one request on the wire.
@@ -495,6 +609,9 @@ func (sc *shardConn) run(p *sim.Proc) {
 		buf = buf[:0]
 		for _, r := range batch {
 			r.sent = now
+			if sc.b.ctrl != nil {
+				sc.b.ctrl.OnSend(sc.shard)
+			}
 			var val []byte
 			if r.op == opSet {
 				val = sc.setVal
@@ -554,6 +671,11 @@ func (sc *shardConn) receive(p *sim.Proc) {
 
 // complete records one finished request.
 func (sc *shardConn) complete(req *request, ok bool, now sim.Time) {
+	if sc.b.ctrl != nil {
+		// Service latency (wire to response) is the health signal: queue
+		// wait reflects client backlog, not shard responsiveness.
+		sc.b.ctrl.OnComplete(sc.shard, int64(now.Sub(req.sent)/sim.Nanosecond), ok)
+	}
 	if req.done != nil {
 		req.done.Notify()
 	}
@@ -576,8 +698,17 @@ func (sc *shardConn) complete(req *request, ok bool, now sim.Time) {
 	sc.b.res.Service.RecordDuration(now.Sub(req.sent))
 }
 
-// fail records a request that could not be sent (dead connection).
+// fail records a request that could not be sent (dead connection): an
+// error edge for the admission plane, with nothing on the wire to pop.
 func (sc *shardConn) fail(req *request) {
+	if sc.b.ctrl != nil {
+		sc.b.ctrl.OnError(sc.shard)
+	}
+	sc.failCommon(req)
+}
+
+// failCommon is the shared bookkeeping of both failure paths.
+func (sc *shardConn) failCommon(req *request) {
 	if req.done != nil {
 		req.done.Notify()
 	}
@@ -589,10 +720,14 @@ func (sc *shardConn) fail(req *request) {
 
 // drainOutstanding fails every request still awaiting a response and
 // releases their batches' pipeline slots (one slot per end-of-batch
-// marker still outstanding).
+// marker still outstanding). Each drained request was sent, so the
+// admission plane sees a matching failed completion.
 func (sc *shardConn) drainOutstanding() {
 	for _, req := range sc.outstanding {
-		sc.fail(req)
+		if sc.b.ctrl != nil {
+			sc.b.ctrl.OnComplete(sc.shard, 0, false)
+		}
+		sc.failCommon(req)
 		if req.eob {
 			sc.inflight.Release()
 		}
@@ -610,6 +745,10 @@ func (b *bench) collect() {
 		b.res.Unfinished += ss.Unfinished
 	}
 	b.res.QPS = float64(b.res.N) / b.cfg.Measure.Seconds()
+	if b.ctrl != nil {
+		b.res.AdmitCounters = b.ctrl.Counters()
+		b.res.AdmitEvents = b.ctrl.Events()
+	}
 }
 
 // readFull reads exactly len(buf) bytes; false means the stream ended.

@@ -73,3 +73,25 @@ func (r *Router) Shard(key string) int {
 	}
 	return r.points[i].shard
 }
+
+// Owners returns the first n distinct shards met walking the ring from
+// key's hash: Owners(key, n)[0] == Shard(key), and each following entry is
+// the next vnode owner — the shard the admission layer re-routes to when
+// everything before it is open. n is clamped to the shard count.
+func (r *Router) Owners(key string, n int) []int {
+	if n > r.shards {
+		n = r.shards
+	}
+	h := fnv64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].h >= h })
+	out := make([]int, 0, n)
+	seen := make([]bool, r.shards)
+	for off := 0; off < len(r.points) && len(out) < n; off++ {
+		p := r.points[(i+off)%len(r.points)]
+		if !seen[p.shard] {
+			seen[p.shard] = true
+			out = append(out, p.shard)
+		}
+	}
+	return out
+}

@@ -52,6 +52,36 @@ func TestRouterLimitedRemapping(t *testing.T) {
 	}
 }
 
+func TestRouterOwners(t *testing.T) {
+	const shards = 6
+	r := NewRouter(shards, 0)
+	for i := 0; i < 1000; i++ {
+		k := fmt.Sprintf("key-%08d", i)
+		owners := r.Owners(k, shards)
+		if len(owners) != shards {
+			t.Fatalf("Owners(%q, %d) returned %d shards", k, shards, len(owners))
+		}
+		if owners[0] != r.Shard(k) {
+			t.Fatalf("Owners(%q)[0] = %d, Shard = %d", k, owners[0], r.Shard(k))
+		}
+		seen := make(map[int]bool)
+		for _, s := range owners {
+			if s < 0 || s >= shards || seen[s] {
+				t.Fatalf("Owners(%q) = %v: out of range or duplicate", k, owners)
+			}
+			seen[s] = true
+		}
+		// A shorter request is a prefix of the full walk, and n past the
+		// shard count clamps.
+		if two := r.Owners(k, 2); len(two) != 2 || two[0] != owners[0] || two[1] != owners[1] {
+			t.Fatalf("Owners(%q, 2) = %v, want prefix of %v", k, two, owners)
+		}
+		if all := r.Owners(k, shards+5); len(all) != shards {
+			t.Fatalf("Owners(%q, n>shards) returned %d entries", k, len(all))
+		}
+	}
+}
+
 func TestRouterSingleShard(t *testing.T) {
 	r := NewRouter(1, 4)
 	for i := 0; i < 100; i++ {

@@ -165,6 +165,69 @@ func TestHDREmpty(t *testing.T) {
 	}
 }
 
+func TestHDRSingleSample(t *testing.T) {
+	var h HDR
+	h.Record(777)
+	if h.N() != 1 || h.Min() != 777 || h.Max() != 777 || h.Mean() != 777 {
+		t.Fatalf("single sample: n=%d min=%d max=%d mean=%g", h.N(), h.Min(), h.Max(), h.Mean())
+	}
+	// Every quantile of a one-sample histogram is that sample, exactly:
+	// the bucket midpoint clamps to [min, max] and min == max. Out-of-range
+	// q must clamp, not panic or extrapolate.
+	for _, q := range []float64{-1, 0, 0.001, 0.5, 0.99, 1, 2} {
+		if got := h.Quantile(q); got != 777 {
+			t.Errorf("single-sample quantile(%g) = %g, want 777", q, got)
+		}
+	}
+}
+
+func TestHDRMergeDisjointRanges(t *testing.T) {
+	// Two histograms whose bucket ranges do not overlap at all: one in the
+	// exact low region (values < 64), one six orders of magnitude up. The
+	// merge must keep both populations, bridge the empty buckets between
+	// them, and agree regardless of merge order.
+	low, high := &HDR{}, &HDR{}
+	const perSide = 1000
+	for i := 0; i < perSide; i++ {
+		low.Record(int64(i % 50))
+		high.Record(1_000_000_000 + int64(i)*1000)
+	}
+	mergedA := &HDR{}
+	mergedA.Merge(low)
+	mergedA.Merge(high)
+	mergedB := &HDR{}
+	mergedB.Merge(high)
+	mergedB.Merge(low)
+
+	for _, m := range []*HDR{mergedA, mergedB} {
+		if m.N() != 2*perSide {
+			t.Fatalf("merged n = %d, want %d", m.N(), 2*perSide)
+		}
+		if m.Min() != 0 || m.Max() != high.Max() {
+			t.Fatalf("merged min=%d max=%d, want 0 and %d", m.Min(), m.Max(), high.Max())
+		}
+		// The median splits exactly between the populations; quantiles
+		// below it must come from the low range, above it from the high
+		// range — nothing may land in the empty gap between the ranges.
+		if p25 := m.Quantile(0.25); p25 >= 64 {
+			t.Errorf("p25 = %g, want a low-range value < 64", p25)
+		}
+		if p75 := m.Quantile(0.75); p75 < 1_000_000_000 {
+			t.Errorf("p75 = %g, want a high-range value >= 1e9", p75)
+		}
+		if mean, want := m.Mean(), (low.Mean()+high.Mean())/2; relErr(mean, want) > 1e-9 {
+			t.Errorf("merged mean %g, want %g", mean, want)
+		}
+	}
+	if mergedA.Quantile(0.5) != mergedB.Quantile(0.5) || mergedA.Quantile(0.99) != mergedB.Quantile(0.99) {
+		t.Fatal("merge order changed a quantile; bucket merge must be exact")
+	}
+	// The sources are untouched.
+	if low.N() != perSide || high.N() != perSide {
+		t.Fatalf("merge mutated a source: low n=%d high n=%d", low.N(), high.N())
+	}
+}
+
 func TestHDRRecordDuration(t *testing.T) {
 	var h HDR
 	h.RecordDuration(1500 * sim.Nanosecond)

@@ -330,6 +330,49 @@ func (r *RecoveryCounters) String() string {
 		r.FCSDrops, r.WatchdogKicks, r.CarrierDrops, r.CarrierDowns, r.CarrierUps)
 }
 
+// AdmitCounters tallies one run's admission-control decisions: what the
+// per-shard breakers shed or re-routed and how often they cycled. The
+// breaker state machine lives in internal/admit; the counter block lives
+// here so the serving telemetry and the determinism tests compare
+// admission activity in one shape, the way FaultCounters does for
+// injection sites.
+type AdmitCounters struct {
+	Shed      int64 // requests fast-failed because every candidate shard was open
+	Rerouted  int64 // requests moved off an open shard to the next vnode owner
+	Opens     int64 // closed/half-open -> open transitions
+	HalfOpens int64 // open -> half-open transitions (probe windows started)
+	Closes    int64 // half-open -> closed transitions (shard readmitted)
+	Probes    int64 // requests admitted as half-open probes
+}
+
+// Total sums every breaker transition (shed/rerouted are per-request and
+// excluded).
+func (a *AdmitCounters) Total() int64 { return a.Opens + a.HalfOpens + a.Closes }
+
+// String renders the counters compactly.
+func (a *AdmitCounters) String() string {
+	return fmt.Sprintf("shed=%d rerouted=%d opens=%d halfopens=%d closes=%d probes=%d",
+		a.Shed, a.Rerouted, a.Opens, a.HalfOpens, a.Closes, a.Probes)
+}
+
+// HealthEvent is one per-shard breaker transition: the health timeline of
+// a serving run is the ordered list of these. States are rendered as
+// strings ("closed", "open", "half-open") so the timeline can be compared
+// byte-for-byte across replayed runs without importing the state machine.
+type HealthEvent struct {
+	Shard  int
+	Name   string
+	T      sim.Time
+	From   string
+	To     string
+	Reason string
+}
+
+// String renders one transition.
+func (e HealthEvent) String() string {
+	return fmt.Sprintf("[%v] shard %d %s %s->%s (%s)", e.T, e.Shard, e.Name, e.From, e.To, e.Reason)
+}
+
 // BusyMeter accumulates intervals during which a component was active.
 // Overlapping Busy calls are additive (two cores busy for 1s = 2s busy
 // time), which is what energy integration wants.

@@ -25,6 +25,7 @@
 package mcn
 
 import (
+	"github.com/mcn-arch/mcn/internal/admit"
 	"github.com/mcn-arch/mcn/internal/cluster"
 	"github.com/mcn-arch/mcn/internal/contutto"
 	"github.com/mcn-arch/mcn/internal/core"
@@ -341,7 +342,45 @@ type (
 	ServeFaultsResult = exp.ServeFaultsResult
 	// ServeBatchResult is the batching off/on A/B on the mcn5 fabric.
 	ServeBatchResult = exp.ServeBatchResult
+	// ServeAdmitResult is the admission-control off/reroute/shed A/B/B'
+	// under a DIMM flap.
+	ServeAdmitResult = exp.ServeAdmitResult
 )
+
+// Admission control: per-shard health tracking and circuit breakers
+// between the serving tier's load drivers and its shard router.
+type (
+	// AdmitConfig tunes the per-shard breakers; the zero value disables
+	// the admission plane.
+	AdmitConfig = admit.Config
+	// AdmitPolicy selects what happens to a request whose shard is open:
+	// re-route to the next vnode owner or shed (fast-fail).
+	AdmitPolicy = admit.Policy
+	// AdmitController owns one breaker per shard.
+	AdmitController = admit.Controller
+	// AdmitState is one breaker's state (closed, open, half-open).
+	AdmitState = admit.State
+	// AdmitCounters is the whole-run admission tally.
+	AdmitCounters = stats.AdmitCounters
+	// HealthEvent is one breaker state transition in the health timeline.
+	HealthEvent = stats.HealthEvent
+)
+
+// Admission policies.
+const (
+	AdmitReroute = admit.Reroute
+	AdmitShed    = admit.Shed
+)
+
+// NewAdmitController builds an admission controller over the named shards
+// with the defaulted config; every probe-jitter stream derives from seed.
+func NewAdmitController(k *Kernel, cfg AdmitConfig, seed uint64, shards []string) *AdmitController {
+	return admit.NewWithConfig(k, cfg, seed, shards)
+}
+
+// DefaultServeAdmit is the admission configuration the "+admit" serving
+// topologies use (re-route policy, internal/admit defaults).
+var DefaultServeAdmit = exp.DefaultServeAdmit
 
 // NewShardRouter builds a consistent-hash ring over nShards shards with
 // vnodes virtual nodes each (0 picks the default).
@@ -381,3 +420,14 @@ func ServeFaults(seed uint64) *ServeFaultsResult { return exp.ServeFaults(seed) 
 // ServeFaultsBatched is ServeFaults with request batching enabled on the
 // shard connections.
 func ServeFaultsBatched(seed uint64) *ServeFaultsResult { return exp.ServeFaultsBatched(seed) }
+
+// ServeFaultsAdmitted is ServeFaultsBatched with the admission-control
+// plane enabled: the flapped shard's breaker opens, traffic re-routes to
+// the next vnode owners, and the breaker event trace replays
+// byte-identically from the seed.
+func ServeFaultsAdmitted(seed uint64) *ServeFaultsResult { return exp.ServeFaultsAdmitted(seed) }
+
+// ServeAdmit runs the DIMM-flap serving experiment with admission off,
+// the re-route policy, and the shed policy on the mcn5+batch fabric; the
+// headline compares the fault-window p99s.
+func ServeAdmit(seed uint64) *ServeAdmitResult { return exp.ServeAdmit(seed) }

@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# Bench smoke: a tiny deterministic slice of the serving benchmark, fast
+# enough for the local gate. It sweeps one low and one mid rate across
+# every topology (including the admitted one) and runs one admitted
+# single point, so a regression in the bench pipeline — topology
+# construction, suffix parsing, admission plane, JSON rendering — fails
+# here instead of in the full scripts/bench.sh artifact run.
+#
+# Usage: scripts/bench-smoke.sh [seed]   (default 42)
+set -e
+
+cd "$(dirname "$0")/.."
+
+SEED="${1:-42}"
+
+echo ">> mcn-serve -curve -rates 200000,800000 -seed $SEED"
+go run ./cmd/mcn-serve -curve -rates 200000,800000 -seed "$SEED"
+
+echo ">> mcn-serve -topo mcn5+batch+admit -rate 200000 -seed $SEED -json"
+go run ./cmd/mcn-serve -topo mcn5+batch+admit -rate 200000 -seed "$SEED" -json
+
+echo "bench-smoke: OK"

@@ -12,6 +12,12 @@ go build ./...
 echo ">> go vet ./..."
 go vet ./...
 
+# Targeted race gate on the serving tier and its admission plane first:
+# these packages carry the concurrency-heavy breaker/loadgen interplay,
+# so a race there fails fast before the full suite spins up.
+echo ">> go test -race ./internal/admit ./internal/serve"
+go test -race ./internal/admit ./internal/serve
+
 echo ">> go test -race $* ./..."
 go test -race "$@" ./...
 

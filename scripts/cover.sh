@@ -24,6 +24,7 @@ awk '
 BEGIN {
     pre = "github.com/mcn-arch/mcn"
     f[pre] = 27
+    f[pre "/internal/admit"] = 90
     f[pre "/internal/cluster"] = 72
     f[pre "/internal/contutto"] = 97
     f[pre "/internal/core"] = 77
