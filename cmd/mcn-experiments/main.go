@@ -18,12 +18,12 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "", "which figure/table to regenerate: 8a, 8b, 8c, t3, 9, 10, 11, faults, serve, serve-batch, serve-faults, serve-admit, all")
+	fig := flag.String("fig", "", "which figure/table to regenerate: 8a, 8b, 8c, t3, 9, 10, 11, faults, serve, serve-batch, serve-faults, serve-admit, serve-attrib, all")
 	headline := flag.Bool("headline", false, "compute the abstract's headline numbers")
 	discussion := flag.Bool("discussion", false, "run the Sec. VII TCP-overhead / fast-transport comparison")
 	scale := flag.Float64("scale", float64(mcn.QuickScale), "working-set multiplier for figs 9-11")
 	workloadList := flag.String("workloads", "", "comma-separated workload subset (default: full suite)")
-	seed := flag.Uint64("seed", 42, "random seed for -fig faults/serve/serve-faults/serve-admit (same seed replays exactly)")
+	seed := flag.Uint64("seed", 42, "random seed for -fig faults/serve/serve-faults/serve-admit/serve-attrib (same seed replays exactly)")
 	flag.Parse()
 
 	if !*headline && !*discussion && *fig == "" {
@@ -62,6 +62,8 @@ func main() {
 			fmt.Print(mcn.ServeFaults(*seed))
 		case "serve-admit":
 			fmt.Print(mcn.ServeAdmit(*seed))
+		case "serve-attrib":
+			fmt.Print(mcn.ServeAttrib(*seed))
 		default:
 			fmt.Fprintf(os.Stderr, "unknown figure %q\n", f)
 			os.Exit(2)

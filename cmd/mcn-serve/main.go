@@ -6,8 +6,15 @@
 //
 //	mcn-serve -topo mcn5 -rate 400000            # one run, human-readable
 //	mcn-serve -topo 10gbe -rate 400000 -json     # one run, JSON
+//	mcn-serve -trace trace.json -metrics m.json  # one traced run + artifacts
 //	mcn-serve -curve                             # full latency-vs-load sweep
+//	mcn-serve -curve -check BENCH_serve.json     # sweep + regression check
 //	mcn-serve -bench -out BENCH_serve.json       # qps-at-SLO per topology
+//
+// -trace writes a Perfetto/Chrome trace-event JSON (load it at
+// ui.perfetto.dev) of the sampled request spans; -metrics writes the
+// unified metrics-registry snapshot. Tracing never perturbs the
+// simulation, so a traced run's telemetry matches the untraced run's.
 //
 // Every run is seeded; the same -seed replays bit-identically.
 package main
@@ -16,6 +23,8 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -104,6 +113,10 @@ func main() {
 	slo := flag.Float64("slo", mcn.DefaultServeSLONs, "p99 SLO in nanoseconds for qps-at-SLO")
 	jsonOut := flag.Bool("json", false, "emit JSON instead of text")
 	out := flag.String("out", "", "write output to this file instead of stdout")
+	traceOut := flag.String("trace", "", "single run: write a Perfetto/Chrome trace-event JSON of sampled request spans to this file")
+	sample := flag.Int("sample", 1, "1-in-N span sampling rate for -trace/-metrics (1 traces every request)")
+	metricsOut := flag.String("metrics", "", "single run: write the metrics-registry snapshot JSON to this file")
+	check := flag.String("check", "", "with -curve: compare the swept points against this BENCH_serve.json and exit non-zero on drift")
 	flag.Parse()
 
 	var ladder []float64
@@ -147,9 +160,20 @@ func main() {
 	case *curve:
 		r := mcn.ServeCurve(*seed, ladder)
 		r.SLONs = *slo
+		if *check != "" {
+			checkCurve(*check, r)
+		}
 		value, text = r, r.String()
 	default:
-		res := mcn.ServeOnce(*seed, *topo, *rate, *workers)
+		var res *mcn.ServeResult
+		if *traceOut != "" || *metricsOut != "" {
+			tr := mcn.ServeTraced(*seed, *topo, *rate, *workers, *sample)
+			res = tr.Result
+			writeArtifact(*traceOut, tr.Tracer.WritePerfetto)
+			writeArtifact(*metricsOut, tr.Snapshot.WriteJSON)
+		} else {
+			res = mcn.ServeOnce(*seed, *topo, *rate, *workers)
+		}
 		j := runJSON{
 			Seed: res.Seed, Topo: *topo, OfferedQPS: res.OfferedQPS, Workers: res.ClosedWorkers,
 			QPS: res.QPS, N: res.N, Errors: res.Errors, Unfinished: res.Unfinished,
@@ -188,4 +212,89 @@ func main() {
 		return
 	}
 	os.Stdout.Write(buf)
+}
+
+// writeArtifact streams one trace/metrics artifact to path (no-op when
+// path is empty).
+func writeArtifact(path string, write func(io.Writer) error) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := write(f); err == nil {
+		err = f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	} else {
+		f.Close()
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// checkCurve compares the freshly swept curve against a committed
+// BENCH_serve.json: every (topology, offered-rate) point present in both
+// must agree. The simulator is deterministic, so the tolerance is a pure
+// float-formatting allowance; any real drift (for example, tracing code
+// perturbing the event stream) fails the check.
+func checkCurve(path string, r *mcn.ServeCurveResult) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "-check: %v\n", err)
+		os.Exit(1)
+	}
+	var want benchJSON
+	if err := json.Unmarshal(raw, &want); err != nil {
+		fmt.Fprintf(os.Stderr, "-check: bad artifact %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	if want.Seed != r.Seed {
+		fmt.Fprintf(os.Stderr, "-check: artifact seed %d, run seed %d — not comparable\n", want.Seed, r.Seed)
+		os.Exit(1)
+	}
+	ref := map[string]map[float64]benchPointJSON{}
+	for _, c := range want.Curves {
+		m := map[float64]benchPointJSON{}
+		for _, p := range c.Points {
+			m[p.OfferedQPS] = p
+		}
+		ref[c.Topo] = m
+	}
+	near := func(a, b float64) bool {
+		return math.Abs(a-b) <= 1e-9*math.Max(math.Abs(a), math.Abs(b))
+	}
+	checked, bad := 0, 0
+	for _, c := range r.Curves {
+		for _, p := range c.Points {
+			w, ok := ref[c.Topo][p.OfferedQPS]
+			if !ok {
+				continue
+			}
+			checked++
+			if !near(p.Summary.QPS, w.QPS) || !near(p.Summary.P50, w.P50Ns) ||
+				!near(p.Summary.P99, w.P99Ns) || !near(p.Summary.P999, w.P999Ns) ||
+				p.Errors != w.Errors || p.Unfinished != w.Unfinished {
+				bad++
+				fmt.Fprintf(os.Stderr, "-check: %s @ %.0f req/s drifted:\n  got  qps=%.2f p50=%.1f p99=%.1f p999=%.1f err=%d unf=%d\n  want qps=%.2f p50=%.1f p99=%.1f p999=%.1f err=%d unf=%d\n",
+					c.Topo, p.OfferedQPS,
+					p.Summary.QPS, p.Summary.P50, p.Summary.P99, p.Summary.P999, p.Errors, p.Unfinished,
+					w.QPS, w.P50Ns, w.P99Ns, w.P999Ns, w.Errors, w.Unfinished)
+			}
+		}
+	}
+	if checked == 0 {
+		fmt.Fprintf(os.Stderr, "-check: no overlapping (topo, rate) points between the sweep and %s\n", path)
+		os.Exit(1)
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "-check: %d/%d points drifted from %s\n", bad, checked, path)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "-check: %d points match %s\n", checked, path)
 }

@@ -195,3 +195,47 @@ func TestOptLevelLadderOnPublicAPI(t *testing.T) {
 		t.Errorf("mcn5 (%.2g) should beat mcn0 (%.2g)", b5, b0)
 	}
 }
+
+func TestObservabilityOnPublicAPI(t *testing.T) {
+	// The facade exposes the observability plane: a traced serving run
+	// produces spans whose phases telescope to end-to-end latency, a
+	// metrics snapshot, and the Perfetto artifact.
+	r := mcn.ServeTraced(1, "mcn5", 100e3, 0, 4)
+	if r.Result.N == 0 || r.Tracer.Finished == 0 {
+		t.Fatalf("traced run: n=%d finished=%d", r.Result.N, r.Tracer.Finished)
+	}
+	for _, sp := range r.Tracer.Spans() {
+		var sum int64
+		for _, d := range sp.Breakdown() {
+			sum += int64(d)
+		}
+		if want := int64(sp.Done.Sub(sp.Arrival)); sum != want {
+			t.Fatalf("span %d: phases sum to %d, e2e %d", sp.ID, sum, want)
+		}
+	}
+	var trace bytes.Buffer
+	if err := r.Tracer.WritePerfetto(&trace); err != nil || trace.Len() == 0 {
+		t.Fatalf("perfetto export: err=%v len=%d", err, trace.Len())
+	}
+	var metrics bytes.Buffer
+	if err := r.Snapshot.WriteJSON(&metrics); err != nil || metrics.Len() == 0 {
+		t.Fatalf("metrics export: err=%v len=%d", err, metrics.Len())
+	}
+
+	// Hand-built tracer + registry through the facade constructors.
+	tr := mcn.NewSpanTracer(3, 1, 16)
+	if s := tr.Sampler("x"); !s.Next() {
+		t.Fatal("sampleN 1 must always sample")
+	}
+	reg := mcn.NewMetricsRegistry()
+	reg.Counter("x").Add(2)
+	if v, ok := reg.Snapshot(0).Value("x"); !ok || v != 2 {
+		t.Fatalf("registry snapshot: %d %v", v, ok)
+	}
+
+	// The faulted variant stays deterministic through the facade too.
+	f := mcn.ServeTracedFaults(3, "mcn5+batch", 100e3, 8)
+	if f.Result.N == 0 {
+		t.Fatal("faulted traced run completed nothing")
+	}
+}

@@ -1,0 +1,14 @@
+package core
+
+import "github.com/mcn-arch/mcn/internal/sim"
+
+// ChannelTap observes frames crossing the MCN SRAM channel: ChanPush
+// fires when the host driver's T3 lands a message in a DIMM's RX ring,
+// DimmPop when the DIMM driver's IRQ drain pops it back out. The window
+// between the two is the channel occupancy — the queueing a full ring
+// exposes. Taps are observation-only: they run at the instant of the
+// event and must charge no simulated time. *obs.Tracer implements this.
+type ChannelTap interface {
+	ChanPush(at sim.Time, frame []byte)
+	DimmPop(at sim.Time, frame []byte)
+}

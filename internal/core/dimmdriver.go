@@ -27,6 +27,10 @@ type DimmDriver struct {
 	local *dram.Channel // the MCN node's private memory channel
 	port  *HostPort     // the host-side peer (for MAC identity)
 	dma   *DMAEngine
+
+	// ChanTap, when set, observes every IRQ-drain pop from this node's
+	// SRAM RX ring.
+	ChanTap ChannelTap
 	// qdisc decouples Transmit from ring-full retries (see HostPort).
 	qdisc *sim.Queue[qdiscEntry]
 	// rxq implements receive packet steering: the IRQ drain only copies
@@ -287,6 +291,9 @@ func (drv *DimmDriver) drainRX(p *sim.Proc) {
 	for {
 		for !d.Buf.RX.Empty() {
 			msg := d.Buf.RX.Pop()
+			if drv.ChanTap != nil {
+				drv.ChanTap.DimmPop(p.Now(), msg)
+			}
 			var st *McnStamps
 			if len(drv.port.rxMeta) > 0 {
 				st = drv.port.rxMeta[0]

@@ -53,6 +53,10 @@ type HostDriver struct {
 	TraceMinBytes int
 	LastTrace     *McnStamps
 
+	// ChanTap, when set, observes every successful SRAM RX-ring push
+	// (T3) on this host's channels.
+	ChanTap ChannelTap
+
 	// FastRx, when set, receives frames whose EtherType is not IPv4 and
 	// whose destination is a host-side interface MAC — the attachment
 	// point for the Sec. VII user-space-style MCN transport that bypasses
@@ -392,6 +396,9 @@ func (p *HostPort) writeToDimm(pr *sim.Proc, msg []byte, st *McnStamps, onCPU bo
 			p.rxMeta = append(p.rxMeta, st)
 			if st != nil {
 				st.DriverTxEnd = pr.Now()
+			}
+			if hd.ChanTap != nil {
+				hd.ChanTap.ChanPush(pr.Now(), msg)
 			}
 			wasIdle := !d.Buf.RxPoll
 			d.Buf.RxPoll = true

@@ -10,6 +10,7 @@ import (
 	"github.com/mcn-arch/mcn/internal/faults"
 	"github.com/mcn-arch/mcn/internal/kvstore"
 	"github.com/mcn-arch/mcn/internal/netstack"
+	"github.com/mcn-arch/mcn/internal/obs"
 	"github.com/mcn-arch/mcn/internal/serve"
 	"github.com/mcn-arch/mcn/internal/sim"
 )
@@ -117,7 +118,11 @@ func serveConfig(seed uint64, rate float64) serve.Config {
 
 // buildServeTopo constructs the named topology on k and returns the shard
 // and client sides. Every topology exposes ServeShards kvstore shards.
-func buildServeTopo(k *sim.Kernel, topo string) (shards []serve.Shard, clients []cluster.Endpoint, inject func(*faults.Injector)) {
+// observe wires the fabric's driver-level observation points (the MCN
+// SRAM channel taps) into a tracer; it is a no-op on fabrics without an
+// MCN channel (serve.Run wires the stack and kvstore taps itself).
+func buildServeTopo(k *sim.Kernel, topo string) (shards []serve.Shard, clients []cluster.Endpoint, inject func(*faults.Injector), observe func(*obs.Tracer)) {
+	observe = func(*obs.Tracer) {}
 	switch topo {
 	case "mcn0", "mcn5":
 		opts := core.MCN0.Options()
@@ -132,6 +137,12 @@ func buildServeTopo(k *sim.Kernel, topo string) (shards []serve.Shard, clients [
 		}
 		clients = []cluster.Endpoint{{Node: s.Host.Node, IP: s.Host.HostMcnIP()}}
 		inject = s.InjectFaults
+		observe = func(t *obs.Tracer) {
+			s.Host.Driver.ChanTap = t
+			for _, m := range s.Mcns {
+				m.Drv.ChanTap = t
+			}
+		}
 	case "10gbe":
 		c := newEthCluster(k, ServeShards+1)
 		eps := c.Endpoints()
@@ -156,16 +167,13 @@ func buildServeTopo(k *sim.Kernel, topo string) (shards []serve.Shard, clients [
 	default:
 		panic(fmt.Sprintf("exp: unknown serve topology %q", topo))
 	}
-	return shards, clients, inject
+	return shards, clients, inject, observe
 }
 
-// runServe executes one point: fresh kernel, topology, measured run. A
-// "+batch" suffix on topo enables DefaultServeBatch and a "+admit" suffix
-// DefaultServeAdmit on the fabric the remainder names; suffixes compose
-// in any order ("mcn5+batch+admit" == "mcn5+admit+batch").
-func runServe(seed uint64, topo string, rate float64, plan *faults.Plan, mutate func(*serve.Config)) *serve.Result {
-	fabric := topo
-	var batched, admitted bool
+// parseServeTopo strips the composable "+batch"/"+admit" suffixes off a
+// topology name, in any order, returning the bare fabric and the flags.
+func parseServeTopo(topo string) (fabric string, batched, admitted bool) {
+	fabric = topo
 	for {
 		if f, ok := strings.CutSuffix(fabric, "+batch"); ok {
 			fabric, batched = f, true
@@ -175,10 +183,19 @@ func runServe(seed uint64, topo string, rate float64, plan *faults.Plan, mutate 
 			fabric, admitted = f, true
 			continue
 		}
-		break
+		return fabric, batched, admitted
 	}
+}
+
+// runServe executes one point: fresh kernel, topology, measured run. A
+// "+batch" suffix on topo enables DefaultServeBatch and a "+admit" suffix
+// DefaultServeAdmit on the fabric the remainder names; suffixes compose
+// in any order ("mcn5+batch+admit" == "mcn5+admit+batch").
+func runServe(seed uint64, topo string, rate float64, plan *faults.Plan, mutate func(*serve.Config)) *serve.Result {
+	fabric, batched, admitted := parseServeTopo(topo)
 	k := sim.NewKernel()
-	shards, clients, inject := buildServeTopo(k, fabric)
+	shards, clients, inject, observe := buildServeTopo(k, fabric)
+	_ = observe
 	if plan != nil {
 		inject(faults.New(k, *plan))
 	}
@@ -312,7 +329,7 @@ func serveFaults(seed uint64, batched bool, admitCfg admit.Config) *ServeFaultsR
 	cfg.Admit = admitCfg
 
 	k := sim.NewKernel()
-	shards, clients, inject := buildServeTopo(k, "mcn5")
+	shards, clients, inject, _ := buildServeTopo(k, "mcn5")
 	cfg.Shards, cfg.Clients = shards, clients
 	// The measured window starts after Warmup; flap 1ms into it for 2ms.
 	measStart := k.Now().Add(cfg.Warmup)
@@ -396,7 +413,7 @@ func ServeAdmit(seed uint64) *ServeAdmitResult {
 	}
 	for _, v := range variants {
 		k := sim.NewKernel()
-		shards, clients, inject := buildServeTopo(k, "mcn5")
+		shards, clients, inject, _ := buildServeTopo(k, "mcn5")
 		cfg := serveAdmitConfig(seed)
 		cfg.Shards, cfg.Clients = shards, clients
 		cfg.Admit = v.admit

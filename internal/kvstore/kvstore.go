@@ -13,6 +13,7 @@ import (
 
 	"github.com/mcn-arch/mcn/internal/cluster"
 	"github.com/mcn-arch/mcn/internal/netstack"
+	"github.com/mcn-arch/mcn/internal/obs"
 	"github.com/mcn-arch/mcn/internal/sim"
 	"github.com/mcn-arch/mcn/internal/stats"
 )
@@ -112,11 +113,23 @@ type Server struct {
 	data  map[string][]byte
 	bytes int64
 
+	// tracer, when set, stamps each request's service-complete boundary
+	// (the moment its response is appended to the write burst).
+	tracer *obs.Tracer
+
 	// Stats.
 	Gets, Sets, Dels, Misses int64
 	// BadOps and TooLarge count rejected malformed requests.
 	BadOps, TooLarge int64
 }
+
+// SetTracer attaches a span tracer; the server stamps the DimmService ->
+// ReturnPath boundary of sampled requests through it. Passing nil
+// detaches.
+func (s *Server) SetTracer(t *obs.Tracer) { s.tracer = t }
+
+// Endpoint returns the server's cluster endpoint (the node it runs on).
+func (s *Server) Endpoint() cluster.Endpoint { return s.ep }
 
 // NewServer creates a store and starts accepting connections.
 func NewServer(k *sim.Kernel, ep cluster.Endpoint, port uint16) *Server {
@@ -167,6 +180,17 @@ const respFlushBytes = 32 << 10
 func (s *Server) serve(p *sim.Proc, c *netstack.TCPConn) {
 	in := connReader{c: c}
 	var out []byte
+	// reqIdx is the FIFO index of the next request on this connection —
+	// the protocol has no request ids, so FIFO order is the correlation
+	// key the tracer matches response stamps with.
+	var reqIdx int64
+	sip, sport, cip, cport := c.Tuple()
+	mark := func() {
+		if s.tracer != nil {
+			s.tracer.ServerMark(cip, cport, sip, sport, reqIdx, p.Now())
+		}
+		reqIdx++
+	}
 	flush := func() bool {
 		if len(out) == 0 {
 			return true
@@ -241,6 +265,7 @@ func (s *Server) serve(p *sim.Proc, c *netstack.TCPConn) {
 			status = StatusBadOp
 		}
 		out = AppendResponse(out, status, val)
+		mark()
 		if len(out) >= respFlushBytes && !flush() {
 			return
 		}
@@ -301,7 +326,14 @@ func Dial(p *sim.Proc, ep cluster.Endpoint, addr netstack.IP, port uint16) (*Cli
 	if err != nil {
 		return nil, err
 	}
-	return &Client{conn: c}, nil
+	cl := &Client{conn: c}
+	// Bound the latency reservoir so long-lived clients (soak runs, the
+	// serving tier's warm-up probes) hold telemetry memory constant; the
+	// tuple keys the seed so per-client reservoirs replay identically.
+	_, lport, _, rport := c.Tuple()
+	cl.Lat.Cap = 4096
+	cl.Lat.Seed = uint64(lport)<<16 | uint64(rport)
+	return cl, nil
 }
 
 // Set stores val under key.

@@ -1,0 +1,77 @@
+package obs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/mcn-arch/mcn/internal/exp"
+)
+
+var update = flag.Bool("update", false, "rewrite golden trace files")
+
+// TestPerfettoGolden pins the trace artifact of a small traced serving
+// run to a committed golden file: same seed, same bytes — across runs
+// and across builds. A legitimate change to the exporter or the
+// simulation regenerates it with `go test ./internal/obs -run Golden
+// -update`.
+func TestPerfettoGolden(t *testing.T) {
+	r := exp.ServeTraced(1, "mcn5", 100e3, 0, 50)
+	var buf bytes.Buffer
+	if err := r.Tracer.WritePerfetto(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Tracer.Spans()) == 0 {
+		t.Fatal("golden run traced no spans")
+	}
+
+	// Schema sanity on the artifact itself: valid JSON, and every event
+	// carries the trace-event envelope Perfetto requires.
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace JSON invalid: %v", err)
+	}
+	for _, e := range doc.TraceEvents {
+		ph, _ := e["ph"].(string)
+		if ph != "M" && ph != "X" {
+			t.Fatalf("bad ph: %v", e)
+		}
+		if _, ok := e["pid"].(float64); !ok {
+			t.Fatalf("missing pid: %v", e)
+		}
+		if _, ok := e["tid"].(float64); !ok {
+			t.Fatalf("missing tid: %v", e)
+		}
+		if ph == "X" {
+			if _, ok := e["ts"].(float64); !ok {
+				t.Fatalf("missing ts: %v", e)
+			}
+			if _, ok := e["dur"].(float64); !ok {
+				t.Fatalf("missing dur: %v", e)
+			}
+		}
+	}
+
+	path := filepath.Join("testdata", "golden_trace.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("trace diverged from golden file (len %d vs %d); regenerate with -update if intended",
+			buf.Len(), len(want))
+	}
+}

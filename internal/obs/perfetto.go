@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/mcn-arch/mcn/internal/sim"
+)
+
+// Perfetto (Chrome trace-event) export: every retained span becomes one
+// whole-request slice on its client's track plus one slice per non-empty
+// phase on the track of the component that spent the time. Load the file
+// at ui.perfetto.dev (or chrome://tracing) to scrub through a run.
+//
+// The writer emits JSON manually with fixed field order and %.6f
+// microsecond timestamps (sim time is integer picoseconds, so six
+// decimals is exact), which keeps the artifact byte-identical across
+// replays — the same property every other artifact in this repo has.
+
+// Trace-event process ids, one per component of the request path.
+const (
+	pidClient  = 1 // load drivers: whole request, ClientQueue, BatchWait
+	pidHost    = 2 // host TCP stack + return path
+	pidChannel = 3 // MCN SRAM channel: Wire, ChannelWait
+	pidDimm    = 4 // DIMM driver + kvstore: DimmIRQ, DimmService
+)
+
+var pidNames = map[int]string{
+	pidClient:  "client",
+	pidHost:    "host-stack",
+	pidChannel: "mcn-channel",
+	pidDimm:    "dimm",
+}
+
+// phaseTrack maps each phase to the process whose track shows it.
+var phaseTrack = [NumPhases]int{
+	PhaseClientQueue: pidClient,
+	PhaseBatchWait:   pidClient,
+	PhaseHostStack:   pidHost,
+	PhaseWire:        pidChannel,
+	PhaseChannelWait: pidChannel,
+	PhaseDimmIRQ:     pidDimm,
+	PhaseDimmService: pidDimm,
+	PhaseReturnPath:  pidHost,
+}
+
+// usec renders a picosecond stamp as exact trace-event microseconds.
+func usec(t sim.Time) string {
+	return fmt.Sprintf("%.6f", float64(t)/1e6)
+}
+
+func usecDur(d sim.Duration) string {
+	return fmt.Sprintf("%.6f", float64(d)/1e6)
+}
+
+type traceThread struct {
+	pid, tid int
+	name     string
+}
+
+// WritePerfetto renders the retained spans as a Chrome trace-event /
+// Perfetto JSON document.
+func (t *Tracer) WritePerfetto(w io.Writer) error {
+	if t == nil {
+		return fmt.Errorf("obs: nil tracer")
+	}
+	// Collect the threads actually used so metadata is minimal and
+	// deterministic: clients on the client process, flows on the host
+	// process, shards on the channel and dimm processes.
+	threads := map[[2]int]string{}
+	for _, sp := range t.spans {
+		threads[[2]int{pidClient, sp.Client}] = fmt.Sprintf("client %d", sp.Client)
+		flow := 0
+		if sp.flow != nil {
+			flow = sp.flow.idx
+		}
+		threads[[2]int{pidHost, flow}] = fmt.Sprintf("flow %d", flow)
+		if sp.Shard >= 0 {
+			threads[[2]int{pidChannel, sp.Shard}] = fmt.Sprintf("shard %d", sp.Shard)
+			threads[[2]int{pidDimm, sp.Shard}] = fmt.Sprintf("shard %d", sp.Shard)
+		}
+	}
+	keys := make([][2]int, 0, len(threads))
+	for k := range threads {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+
+	bw := &errWriter{w: w}
+	bw.printf("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[")
+	first := true
+	emit := func(format string, args ...any) {
+		if !first {
+			bw.printf(",")
+		}
+		first = false
+		bw.printf("\n"+format, args...)
+	}
+	// Metadata: process and thread names.
+	for pid := pidClient; pid <= pidDimm; pid++ {
+		emit(`{"ph":"M","pid":%d,"tid":0,"name":"process_name","args":{"name":%q}}`, pid, pidNames[pid])
+	}
+	for _, k := range keys {
+		emit(`{"ph":"M","pid":%d,"tid":%d,"name":"thread_name","args":{"name":%q}}`, k[0], k[1], threads[k])
+	}
+	for _, sp := range t.spans {
+		op := "GET"
+		if sp.Op != 0 {
+			op = "SET"
+		}
+		status := "ok"
+		if sp.Err {
+			status = "err"
+		}
+		flow := 0
+		if sp.flow != nil {
+			flow = sp.flow.idx
+		}
+		// Whole-request slice on the client track.
+		emit(`{"ph":"X","pid":%d,"tid":%d,"ts":%s,"dur":%s,"name":"%s req %d","args":{"shard":%d,"seq":%d,"status":%q}}`,
+			pidClient, sp.Client, usec(sp.Arrival), usecDur(sp.Done.Sub(sp.Arrival)), op, sp.ID, sp.Shard, sp.Seq, status)
+		// Per-phase slices on the owning component's track.
+		b := sp.Breakdown()
+		at := sp.Arrival
+		for ph := Phase(0); ph < NumPhases; ph++ {
+			d := b[ph]
+			if d > 0 {
+				pid := phaseTrack[ph]
+				tid := 0
+				switch pid {
+				case pidClient:
+					tid = sp.Client
+				case pidHost:
+					tid = flow
+				default:
+					tid = sp.Shard
+					if tid < 0 {
+						tid = 0
+					}
+				}
+				emit(`{"ph":"X","pid":%d,"tid":%d,"ts":%s,"dur":%s,"name":%q,"args":{"req":%d}}`,
+					pid, tid, usec(at), usecDur(d), ph.String(), sp.ID)
+			}
+			at = at.Add(d)
+		}
+	}
+	bw.printf("\n]}\n")
+	return bw.err
+}
+
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}
+
+// Attrib is the aggregate latency attribution of a traced run: the mean
+// and tails of each phase over completed in-window spans. Phase
+// boundaries telescope, so MeanNs sums across phases to the mean
+// end-to-end latency — exactly in picoseconds, to within NumPhases
+// nanoseconds here (each phase truncates to whole ns when recorded).
+type Attrib struct {
+	Phase  string  `json:"phase"`
+	MeanNs float64 `json:"mean_ns"`
+	P50Ns  float64 `json:"p50_ns"`
+	P99Ns  float64 `json:"p99_ns"`
+}
+
+// Attribution summarizes the per-phase aggregates; the final row is the
+// end-to-end total.
+func (t *Tracer) Attribution() []Attrib {
+	out := make([]Attrib, 0, NumPhases+1)
+	for ph := Phase(0); ph < NumPhases; ph++ {
+		h := &t.Phases[ph]
+		out = append(out, Attrib{
+			Phase: ph.String(), MeanNs: h.Mean(), P50Ns: h.Quantile(0.5), P99Ns: h.Quantile(0.99),
+		})
+	}
+	out = append(out, Attrib{
+		Phase: "Total", MeanNs: t.Total.Mean(), P50Ns: t.Total.Quantile(0.5), P99Ns: t.Total.Quantile(0.99),
+	})
+	return out
+}

@@ -9,6 +9,7 @@ import (
 	"github.com/mcn-arch/mcn/internal/cluster"
 	"github.com/mcn-arch/mcn/internal/kvstore"
 	"github.com/mcn-arch/mcn/internal/netstack"
+	"github.com/mcn-arch/mcn/internal/obs"
 	"github.com/mcn-arch/mcn/internal/sim"
 	"github.com/mcn-arch/mcn/internal/stats"
 )
@@ -64,6 +65,18 @@ type Config struct {
 	// tail at the router instead of riding the TCP RTO. The zero value
 	// disables it.
 	Admit admit.Config
+	// Tracer, when set, samples per-request spans: Run wires it onto the
+	// client and shard-server network stacks (composing with any tap
+	// already attached) and into the kvstore servers, and the load
+	// drivers open/close the spans. The caller wires the MCN channel taps
+	// (core.ChannelTap) where the topology has them. Tracing charges no
+	// simulated time and draws only from seeded streams, so a traced run
+	// is event-identical to an untraced one.
+	Tracer *obs.Tracer
+	// Metrics, when set, receives the run's telemetry as named metrics
+	// (counters, per-phase HDRs, per-shard kvstore gauges) at collect
+	// time, for a deterministic end-of-run snapshot.
+	Metrics *obs.Registry
 	// Warmup requests are issued but not measured; Measure is the
 	// recorded window; Drain lets in-flight tails complete before the
 	// run is cut off and stragglers are counted as unfinished.
@@ -134,6 +147,7 @@ type request struct {
 	sent    sim.Time    // when its batch reached the wire
 	eob     bool        // last request of its batch: completing it frees the pipeline slot
 	done    *sim.Signal // closed-loop completion, nil for open loop
+	span    *obs.Span   // sampled trace span, nil when untraced
 }
 
 // ShardStats is one shard's slice of a run.
@@ -336,6 +350,9 @@ type shardConn struct {
 	conn        *netstack.TCPConn
 	dead        bool
 	setVal      []byte
+	// flow is the tracer's correlation state for this connection (nil
+	// when untraced).
+	flow *obs.Flow
 }
 
 // Run executes one load-generation run on k: preload the keyspace, start
@@ -397,6 +414,31 @@ func Run(k *sim.Kernel, cfg Config) *Result {
 		}
 	}
 
+	// Observability: tap every distinct stack on the request path (client
+	// and shard sides — deduplicated, several endpoints can share one
+	// stack) and hand the tracer to the stores. Taps chain over anything
+	// already attached, and none of this runs when tracing is off, so an
+	// untraced run's event stream is exactly the seed's.
+	if cfg.Tracer != nil {
+		tapped := make(map[*netstack.Stack]bool)
+		tap := func(st *netstack.Stack) {
+			if st == nil || tapped[st] {
+				return
+			}
+			tapped[st] = true
+			st.Tap = &obs.StackTap{T: cfg.Tracer, Chain: st.Tap}
+		}
+		for _, cl := range cfg.Clients {
+			tap(cl.Node.Stack)
+		}
+		for _, sh := range cfg.Shards {
+			if sh.Server != nil {
+				sh.Server.SetTracer(cfg.Tracer)
+				tap(sh.Server.Endpoint().Node.Stack)
+			}
+		}
+	}
+
 	// One pipelined connection per (client, shard).
 	b.conns = make([][]*shardConn, len(cfg.Clients))
 	for ci, cl := range cfg.Clients {
@@ -421,9 +463,10 @@ func Run(k *sim.Kernel, cfg Config) *Result {
 		for ci := range cfg.Clients {
 			for wi := 0; wi < cfg.ClosedWorkers; wi++ {
 				gen := w.newGenerator(zf, cfg.Seed, fmt.Sprintf("worker/%d/%d", ci, wi))
+				smp := cfg.Tracer.Sampler(fmt.Sprintf("worker/%d/%d", ci, wi))
 				ci := ci
 				k.Go(fmt.Sprintf("serve/worker%d.%d", ci, wi), func(p *sim.Proc) {
-					b.closedWorker(p, ci, gen)
+					b.closedWorker(p, ci, gen, smp)
 				})
 			}
 		}
@@ -436,9 +479,10 @@ func Run(k *sim.Kernel, cfg Config) *Result {
 			for gi := 0; gi < cfg.Generators; gi++ {
 				gen := w.newGenerator(zf, cfg.Seed, fmt.Sprintf("gen/%d/%d", ci, gi))
 				arr := rng{state: streamSeed(cfg.Seed, fmt.Sprintf("arrivals/%d/%d", ci, gi))}
+				smp := cfg.Tracer.Sampler(fmt.Sprintf("gen/%d/%d", ci, gi))
 				ci := ci
 				k.Go(fmt.Sprintf("serve/gen%d.%d", ci, gi), func(p *sim.Proc) {
-					b.openLoop(p, ci, gen, arr, share)
+					b.openLoop(p, ci, gen, arr, share, smp)
 				})
 			}
 		}
@@ -460,7 +504,7 @@ func newZipfFor(w Workload) *zipf {
 // openLoop issues requests at Poisson arrivals of the given rate,
 // regardless of completions — offered load stays constant even when the
 // shards fall behind, which is what exposes the tail.
-func (b *bench) openLoop(p *sim.Proc, ci int, gen *generator, arr rng, rate float64) {
+func (b *bench) openLoop(p *sim.Proc, ci int, gen *generator, arr rng, rate float64, smp *obs.Sampler) {
 	mean := 1 / rate // seconds
 	for {
 		p.Sleep(sim.Duration(arr.expDuration(mean) * float64(sim.Second)))
@@ -469,13 +513,17 @@ func (b *bench) openLoop(p *sim.Proc, ci int, gen *generator, arr rng, rate floa
 			return
 		}
 		op, key := gen.next()
-		b.enqueue(p, ci, &request{op: op, key: key, arrival: now})
+		req := &request{op: op, key: key, arrival: now}
+		if smp.Next() {
+			req.span = b.cfg.Tracer.Start(now, ci, op)
+		}
+		b.enqueue(p, ci, req)
 	}
 }
 
 // closedWorker issues the next request as soon as the previous one
 // completes (throughput self-limits to 1/latency per worker).
-func (b *bench) closedWorker(p *sim.Proc, ci int, gen *generator) {
+func (b *bench) closedWorker(p *sim.Proc, ci int, gen *generator, smp *obs.Sampler) {
 	for {
 		now := p.Now()
 		if now >= b.measEnd {
@@ -483,6 +531,9 @@ func (b *bench) closedWorker(p *sim.Proc, ci int, gen *generator) {
 		}
 		op, key := gen.next()
 		req := &request{op: op, key: key, arrival: now, done: b.k.NewSignal()}
+		if smp.Next() {
+			req.span = b.cfg.Tracer.Start(now, ci, op)
+		}
 		if !b.enqueue(p, ci, req) {
 			// Shed at the router: the fast-fail comes straight back, so
 			// the worker turns around after a client-side beat instead of
@@ -518,6 +569,8 @@ func (b *bench) enqueue(p *sim.Proc, ci int, req *request) bool {
 				b.res.Shed++
 				b.res.PerShard[req.shard].Shed++
 			}
+			// A shed request never reaches the wire; its span ends here.
+			b.cfg.Tracer.Abort(req.span)
 			return false
 		}
 		if target != req.shard {
@@ -527,7 +580,13 @@ func (b *bench) enqueue(p *sim.Proc, ci int, req *request) bool {
 				b.res.Rerouted++
 				b.res.PerShard[target].Rerouted++
 			}
+			if req.span != nil {
+				req.span.Rerouted = true
+			}
 		}
+	}
+	if req.span != nil {
+		req.span.Shard = req.shard
 	}
 	if req.arrival >= b.measStart && req.arrival < b.measEnd {
 		b.res.PerShard[req.shard].Issued++
@@ -560,6 +619,10 @@ func (sc *shardConn) run(p *sim.Proc) {
 		sc.dead = true
 	} else {
 		sc.conn = conn
+		if t := sc.b.cfg.Tracer; t != nil {
+			lip, lport, rip, rport := conn.Tuple()
+			sc.flow = t.OpenFlow(lip, lport, rip, rport)
+		}
 		sc.b.k.Go(fmt.Sprintf("%s/rx", p.Name()), sc.receive)
 	}
 	bc := sc.b.cfg.Batch
@@ -617,7 +680,12 @@ func (sc *shardConn) run(p *sim.Proc) {
 				val = sc.setVal
 			}
 			buf = kvstore.AppendRequest(buf, r.op, sc.b.keys[r.key], val)
+			// Every request advances the flow's FIFO sequence (the
+			// server counts them all); sampled ones also learn their
+			// last byte's stream offset for frame correlation.
+			sc.flow.Queued(r.span, int64(len(buf)-1), r.deq, now)
 		}
+		sc.flow.Advance(len(buf))
 		batch[len(batch)-1].eob = true
 		if bc.Enabled() && now >= sc.b.measStart && now < sc.b.measEnd {
 			sc.b.res.BatchSize.Record(int64(len(batch)))
@@ -671,6 +739,10 @@ func (sc *shardConn) receive(p *sim.Proc) {
 
 // complete records one finished request.
 func (sc *shardConn) complete(req *request, ok bool, now sim.Time) {
+	if req.span != nil {
+		inWin := req.arrival >= sc.b.measStart && req.arrival < sc.b.measEnd
+		sc.b.cfg.Tracer.Finish(req.span, now, inWin, ok)
+	}
 	if sc.b.ctrl != nil {
 		// Service latency (wire to response) is the health signal: queue
 		// wait reflects client backlog, not shard responsiveness.
@@ -709,6 +781,7 @@ func (sc *shardConn) fail(req *request) {
 
 // failCommon is the shared bookkeeping of both failure paths.
 func (sc *shardConn) failCommon(req *request) {
+	sc.b.cfg.Tracer.Abort(req.span)
 	if req.done != nil {
 		req.done.Notify()
 	}
@@ -748,6 +821,51 @@ func (b *bench) collect() {
 	if b.ctrl != nil {
 		b.res.AdmitCounters = b.ctrl.Counters()
 		b.res.AdmitEvents = b.ctrl.Events()
+	}
+	b.publish()
+}
+
+// publish registers the run's telemetry in the unified metrics registry —
+// one named surface over what used to be scattered result-struct fields,
+// so an end-of-run snapshot carries the whole serving plane.
+func (b *bench) publish() {
+	reg := b.cfg.Metrics
+	if reg == nil {
+		return
+	}
+	reg.Counter("serve/completed").Add(b.res.N)
+	reg.Counter("serve/errors").Add(b.res.Errors)
+	reg.Counter("serve/unfinished").Add(b.res.Unfinished)
+	reg.Counter("serve/shed").Add(b.res.Shed)
+	reg.Counter("serve/rerouted").Add(b.res.Rerouted)
+	reg.RegisterHDR("serve/lat/total", &b.res.Total)
+	reg.RegisterHDR("serve/lat/queue", &b.res.Queue)
+	reg.RegisterHDR("serve/lat/batchwait", &b.res.BatchWait)
+	reg.RegisterHDR("serve/lat/service", &b.res.Service)
+	reg.RegisterHDR("serve/batch/size", &b.res.BatchSize)
+	for si, ss := range b.res.PerShard {
+		pre := fmt.Sprintf("serve/shard/%d/", si)
+		reg.Counter(pre + "completed").Add(ss.N)
+		reg.Counter(pre + "errors").Add(ss.Errors)
+		reg.Counter(pre + "unfinished").Add(ss.Unfinished)
+		reg.RegisterHDR(pre+"lat", &ss.Lat)
+		if srv := b.cfg.Shards[si].Server; srv != nil {
+			srv := srv
+			reg.GaugeFunc(pre+"kv/gets", func() int64 { return srv.Gets })
+			reg.GaugeFunc(pre+"kv/sets", func() int64 { return srv.Sets })
+			reg.GaugeFunc(pre+"kv/misses", func() int64 { return srv.Misses })
+			reg.GaugeFunc(pre+"kv/bytes", srv.Bytes)
+		}
+	}
+	if t := b.cfg.Tracer; t != nil {
+		for ph := obs.Phase(0); ph < obs.NumPhases; ph++ {
+			reg.RegisterHDR("obs/phase/"+ph.String(), &t.Phases[ph])
+		}
+		reg.RegisterHDR("obs/total", &t.Total)
+		reg.GaugeFunc("obs/spans/started", func() int64 { return t.Started })
+		reg.GaugeFunc("obs/spans/finished", func() int64 { return t.Finished })
+		reg.GaugeFunc("obs/spans/aborted", func() int64 { return t.Aborted })
+		reg.GaugeFunc("obs/spans/dropped", func() int64 { return t.DroppedSpans })
 	}
 }
 

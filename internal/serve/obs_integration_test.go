@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"testing"
+
+	"github.com/mcn-arch/mcn/internal/obs"
+	"github.com/mcn-arch/mcn/internal/sim"
+)
+
+// TestRunWithObservability wires a span tracer and a metrics registry
+// into a batched run and checks the plane end to end at this layer: the
+// tracer's aggregate agrees with the run telemetry, every span's phase
+// breakdown telescopes to its end-to-end latency, and publish() lands
+// the full telemetry in the registry.
+func TestRunWithObservability(t *testing.T) {
+	tr := obs.NewTracer(9, 1, 0)
+	reg := obs.NewRegistry()
+	k := sim.NewKernel()
+	cfg := mcnBench(k, 2, Config{
+		Seed:       9,
+		Workload:   Workload{Keys: 2000, ValueBytes: 128},
+		RatePerSec: 100e3,
+		Warmup:     sim.Millisecond,
+		Measure:    5 * sim.Millisecond,
+		Drain:      2 * sim.Millisecond,
+		Batch:      BatchConfig{MaxRequests: 16, MaxBytes: 8 << 10, Window: 2 * sim.Microsecond},
+	})
+	cfg.Tracer, cfg.Metrics = tr, reg
+	res := Run(k, cfg)
+	snap := reg.Snapshot(k.Now())
+	k.Shutdown()
+
+	if res.N == 0 || res.Errors != 0 {
+		t.Fatalf("run: n=%d errors=%d", res.N, res.Errors)
+	}
+	// Sampling 1: the tracer aggregated exactly the measured requests.
+	if tr.Total.N() != res.N {
+		t.Fatalf("tracer aggregated %d, telemetry %d", tr.Total.N(), res.N)
+	}
+	if tr.Total.Mean() != res.Total.Mean() {
+		t.Fatalf("tracer mean %.1f != telemetry mean %.1f", tr.Total.Mean(), res.Total.Mean())
+	}
+	// Phase breakdowns telescope exactly even without the channel taps
+	// (this topology attaches only stack and server hooks; the missing
+	// channel boundaries forward-fill).
+	for _, sp := range tr.Spans() {
+		var sum int64
+		for _, d := range sp.Breakdown() {
+			sum += int64(d)
+		}
+		if want := int64(sp.Done.Sub(sp.Arrival)); sum != want {
+			t.Fatalf("span %d: phases sum to %d, e2e %d", sp.ID, sum, want)
+		}
+	}
+	// publish() landed the run in the registry.
+	if v, ok := snap.Value("serve/completed"); !ok || v != res.N {
+		t.Fatalf("serve/completed = %d (ok=%v), want %d", v, ok, res.N)
+	}
+	if v, ok := snap.Value("obs/spans/finished"); !ok || v != tr.Finished {
+		t.Fatalf("obs/spans/finished = %d (ok=%v), want %d", v, ok, tr.Finished)
+	}
+	if v, ok := snap.Value("serve/shard/0/kv/gets"); !ok || v <= 0 {
+		t.Fatalf("serve/shard/0/kv/gets = %d (ok=%v), want > 0", v, ok)
+	}
+	hdr := func(name string) *obs.HDRStat {
+		for _, m := range snap.Metrics {
+			if m.Name == name {
+				return m.HDR
+			}
+		}
+		return nil
+	}
+	if h := hdr("obs/total"); h == nil || h.N != res.N {
+		t.Fatalf("obs/total = %+v, want hdr n %d", h, res.N)
+	}
+	if h := hdr("serve/shard/0/lat"); h == nil {
+		t.Fatal("serve/shard/0/lat missing")
+	}
+}

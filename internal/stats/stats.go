@@ -59,52 +59,88 @@ func (c *Counter) RateOver(span sim.Duration) float64 {
 	return float64(c.Total) / s
 }
 
-// Histogram collects samples and reports order statistics. It stores raw
-// samples; simulations here collect at most a few hundred thousand.
+// Histogram collects samples and reports order statistics. By default it
+// stores every raw sample (fine for the few hundred thousand observations
+// a short simulation makes). Setting Cap before the first Observe bounds
+// memory for long runs: the stored set becomes a uniform random reservoir
+// of Cap samples (Vitter's Algorithm R on a seeded splitmix64 stream, so
+// replays stay byte-identical), while N, Mean, Min and Max remain exact
+// over every observation; only the quantiles are estimated from the
+// reservoir. Hot paths that need exact tails use HDR instead.
 type Histogram struct {
-	samples []float64
-	sorted  bool
-	sum     float64
+	// Cap, when > 0, bounds the stored samples to a reservoir of that
+	// size. Seed selects the replacement stream (0 is a valid seed).
+	Cap  int
+	Seed uint64
+
+	samples  []float64
+	sorted   bool
+	sum      float64
+	n        int64
+	min, max float64
+	rng      uint64
+	rngInit  bool
+}
+
+// rand is one splitmix64 step, the repo-wide seeded stream primitive.
+func (h *Histogram) rand() uint64 {
+	if !h.rngInit {
+		h.rng = h.Seed
+		h.rngInit = true
+	}
+	h.rng += 0x9e3779b97f4a7c15
+	z := h.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
 }
 
 // Observe records one sample.
 func (h *Histogram) Observe(v float64) {
+	h.n++
+	h.sum += v
+	if h.n == 1 || v < h.min {
+		h.min = v
+	}
+	if h.n == 1 || v > h.max {
+		h.max = v
+	}
+	if h.Cap > 0 && len(h.samples) >= h.Cap {
+		// Algorithm R: the new sample displaces a random resident with
+		// probability Cap/n, keeping the reservoir a uniform sample of
+		// everything seen. (Sorting permutes slots, but slots are
+		// exchangeable, so a uniform index stays a uniform victim.)
+		if j := h.rand() % uint64(h.n); j < uint64(h.Cap) {
+			h.samples[j] = v
+			h.sorted = false
+		}
+		return
+	}
 	h.samples = append(h.samples, v)
 	h.sorted = false
-	h.sum += v
 }
 
 // ObserveDuration records a duration sample in nanoseconds.
 func (h *Histogram) ObserveDuration(d sim.Duration) { h.Observe(d.Nanoseconds()) }
 
-// N returns the number of samples.
-func (h *Histogram) N() int { return len(h.samples) }
+// N returns the number of observations (not the retained sample count).
+func (h *Histogram) N() int { return int(h.n) }
 
-// Mean returns the sample mean (0 with no samples).
+// Mean returns the exact mean over all observations (0 with none).
 func (h *Histogram) Mean() float64 {
-	if len(h.samples) == 0 {
+	if h.n == 0 {
 		return 0
 	}
-	return h.sum / float64(len(h.samples))
+	return h.sum / float64(h.n)
 }
 
-// Min returns the smallest sample (0 with no samples).
-func (h *Histogram) Min() float64 {
-	if len(h.samples) == 0 {
-		return 0
-	}
-	h.ensureSorted()
-	return h.samples[0]
-}
+// Min returns the smallest observation, exact even in reservoir mode (0
+// with no samples).
+func (h *Histogram) Min() float64 { return h.min }
 
-// Max returns the largest sample (0 with no samples).
-func (h *Histogram) Max() float64 {
-	if len(h.samples) == 0 {
-		return 0
-	}
-	h.ensureSorted()
-	return h.samples[len(h.samples)-1]
-}
+// Max returns the largest observation, exact even in reservoir mode (0
+// with no samples).
+func (h *Histogram) Max() float64 { return h.max }
 
 // Quantile returns the q-quantile (0 <= q <= 1) using nearest-rank.
 func (h *Histogram) Quantile(q float64) float64 {
@@ -131,6 +167,9 @@ func (h *Histogram) ensureSorted() {
 		h.sorted = true
 	}
 }
+
+// Retained returns the stored sample count (== N unless Cap bounded it).
+func (h *Histogram) Retained() int { return len(h.samples) }
 
 // String summarizes the histogram.
 func (h *Histogram) String() string {

@@ -46,6 +46,12 @@ type Recorder struct {
 	// exported with WritePcap; the ring cap then also bounds the retained
 	// payload bytes to Max frames.
 	CaptureBytes bool
+	// Filter, when set, selects which frames enter the ring — tcpdump's
+	// BPF expression as a Go predicate (e.g. match one traced request's
+	// 4-tuple). Rejected frames are not recorded and do not count as
+	// Dropped, and the ring still keeps the newest Max *accepted* frames.
+	// The Record passed in carries Raw only if CaptureBytes is set.
+	Filter func(Record) bool
 }
 
 // NewRecorder returns a recorder holding up to max frames (0 = 4096).
@@ -63,6 +69,9 @@ func (r *Recorder) Packet(at sim.Time, dir, dev string, data []byte) {
 	}
 	if r.CaptureBytes {
 		rec.Raw = append([]byte(nil), data...)
+	}
+	if r.Filter != nil && !r.Filter(rec) {
+		return
 	}
 	if len(r.Records) >= r.Max {
 		// Ring semantics: evict the oldest frame so the capture keeps the

@@ -109,3 +109,33 @@ func TestRecorderRingKeepsNewest(t *testing.T) {
 		}
 	}
 }
+
+func TestRecorderFilterWithEviction(t *testing.T) {
+	rec := NewRecorder(3)
+	rec.CaptureBytes = true
+	// Select one "flow": frames on dev eth1 only — the single-flow
+	// capture a traced request's 4-tuple filter performs.
+	rec.Filter = func(r Record) bool { return r.Dev == "eth1" && len(r.Raw) > 0 }
+	for i := 0; i < 10; i++ {
+		frame := make([]byte, netstack.EthHeaderBytes+1)
+		frame[netstack.EthHeaderBytes] = byte(i)
+		dev := "eth0"
+		if i%2 == 1 {
+			dev = "eth1"
+		}
+		rec.Packet(sim.Time(i)*sim.Time(sim.Microsecond), "tx", dev, frame)
+	}
+	// Of the 5 accepted frames (1,3,5,7,9) the ring keeps the newest 3;
+	// rejected frames neither occupy slots nor count as Dropped.
+	if len(rec.Records) != 3 || rec.Dropped != 2 {
+		t.Fatalf("records=%d dropped=%d", len(rec.Records), rec.Dropped)
+	}
+	for i, want := range []byte{5, 7, 9} {
+		if got := rec.Records[i].Raw[netstack.EthHeaderBytes]; got != want {
+			t.Fatalf("record %d holds frame %d, want %d", i, got, want)
+		}
+		if rec.Records[i].Dev != "eth1" {
+			t.Fatalf("filter leaked dev %q", rec.Records[i].Dev)
+		}
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"github.com/mcn-arch/mcn/internal/mpi"
 	"github.com/mcn-arch/mcn/internal/netstack"
 	"github.com/mcn-arch/mcn/internal/node"
+	"github.com/mcn-arch/mcn/internal/obs"
 	"github.com/mcn-arch/mcn/internal/npb"
 	"github.com/mcn-arch/mcn/internal/serve"
 	"github.com/mcn-arch/mcn/internal/sim"
@@ -431,3 +432,56 @@ func ServeFaultsAdmitted(seed uint64) *ServeFaultsResult { return exp.ServeFault
 // the re-route policy, and the shed policy on the mcn5+batch fabric; the
 // headline compares the fault-window p99s.
 func ServeAdmit(seed uint64) *ServeAdmitResult { return exp.ServeAdmit(seed) }
+
+// Observability: end-to-end request spans, the unified metrics registry
+// and the Perfetto/Chrome trace export (internal/obs).
+type (
+	// SpanTracer samples requests into spans whose phase breakdowns
+	// telescope exactly to end-to-end latency. (Tracer is the older
+	// packet-capture recorder.)
+	SpanTracer = obs.Tracer
+	// Span is one traced request: its boundary stamps and identity.
+	Span = obs.Span
+	// Phase indexes the eight request phases (ClientQueue..ReturnPath).
+	Phase = obs.Phase
+	// Registry is the unified metrics registry (counters, gauges, HDRs).
+	Registry = obs.Registry
+	// MetricsSnapshot is one deterministic sim-time-stamped snapshot.
+	MetricsSnapshot = obs.Snapshot
+	// PhaseAttrib is one row of the per-phase latency attribution.
+	PhaseAttrib = obs.Attrib
+	// ServeTraceResult is one traced serving run: telemetry + tracer +
+	// metrics snapshot.
+	ServeTraceResult = exp.ServeTraceResult
+	// ServeAttribResult is the per-phase latency-attribution table
+	// across the serving configuration ladder.
+	ServeAttribResult = exp.ServeAttribResult
+)
+
+// NewSpanTracer builds a span tracer: sampleN is the 1-in-N sampling rate
+// (<=1 traces everything), maxSpans bounds span retention (0 picks the
+// default). All randomness derives from seed.
+func NewSpanTracer(seed uint64, sampleN, maxSpans int) *SpanTracer {
+	return obs.NewTracer(seed, sampleN, maxSpans)
+}
+
+// NewMetricsRegistry builds an empty metrics registry.
+func NewMetricsRegistry() *Registry { return obs.NewRegistry() }
+
+// ServeTraced runs one serving point with the observability plane on:
+// spans cover every phase from client enqueue to response, and the
+// simulated event stream is identical to the untraced ServeOnce run.
+func ServeTraced(seed uint64, topo string, rate float64, closedWorkers, sampleN int) *ServeTraceResult {
+	return exp.ServeTraced(seed, topo, rate, closedWorkers, sampleN)
+}
+
+// ServeTracedFaults is ServeTraced under the standard DIMM-flap plan;
+// its trace artifacts replay byte-identically from the seed.
+func ServeTracedFaults(seed uint64, topo string, rate float64, sampleN int) *ServeTraceResult {
+	return exp.ServeTracedFaults(seed, topo, rate, sampleN)
+}
+
+// ServeAttrib traces every request on each configuration of the serving
+// ladder (mcn0, mcn5, +batch, +batch+admit) and reduces the spans to a
+// paper-style per-phase latency-breakdown table.
+func ServeAttrib(seed uint64) *ServeAttribResult { return exp.ServeAttrib(seed) }

@@ -13,10 +13,23 @@ cd "$(dirname "$0")/.."
 
 SEED="${1:-42}"
 
-echo ">> mcn-serve -curve -rates 200000,800000 -seed $SEED"
-go run ./cmd/mcn-serve -curve -rates 200000,800000 -seed "$SEED"
+echo ">> mcn-serve -curve -rates 200000,800000 -seed $SEED -check BENCH_serve.json"
+go run ./cmd/mcn-serve -curve -rates 200000,800000 -seed "$SEED" -check BENCH_serve.json
 
 echo ">> mcn-serve -topo mcn5+batch+admit -rate 200000 -seed $SEED -json"
-go run ./cmd/mcn-serve -topo mcn5+batch+admit -rate 200000 -seed "$SEED" -json
+go run ./cmd/mcn-serve -topo mcn5+batch+admit -rate 200000 -seed "$SEED" -json -out /tmp/mcn-smoke-plain.json
+
+# Trace-overhead guard: the same point with the observability plane on
+# must report byte-identical telemetry (tracing charges no simulated
+# time), and the Perfetto/metrics artifacts must be written and non-empty.
+echo ">> mcn-serve -topo mcn5+batch+admit ... -trace/-metrics (zero-perturbation guard)"
+go run ./cmd/mcn-serve -topo mcn5+batch+admit -rate 200000 -seed "$SEED" -json \
+	-trace /tmp/mcn-smoke-trace.json -metrics /tmp/mcn-smoke-metrics.json \
+	-out /tmp/mcn-smoke-traced.json
+cmp /tmp/mcn-smoke-plain.json /tmp/mcn-smoke-traced.json
+test -s /tmp/mcn-smoke-trace.json
+test -s /tmp/mcn-smoke-metrics.json
+cat /tmp/mcn-smoke-plain.json
+rm -f /tmp/mcn-smoke-plain.json /tmp/mcn-smoke-traced.json /tmp/mcn-smoke-trace.json /tmp/mcn-smoke-metrics.json
 
 echo "bench-smoke: OK"

@@ -12,11 +12,12 @@ go build ./...
 echo ">> go vet ./..."
 go vet ./...
 
-# Targeted race gate on the serving tier and its admission plane first:
-# these packages carry the concurrency-heavy breaker/loadgen interplay,
-# so a race there fails fast before the full suite spins up.
-echo ">> go test -race ./internal/admit ./internal/serve"
-go test -race ./internal/admit ./internal/serve
+# Targeted race gate on the serving tier, its admission plane and the
+# observability plane first: these packages carry the concurrency-heavy
+# breaker/loadgen/tracer interplay, so a race there fails fast before
+# the full suite spins up.
+echo ">> go test -race ./internal/admit ./internal/serve ./internal/obs"
+go test -race ./internal/admit ./internal/serve ./internal/obs
 
 echo ">> go test -race $* ./..."
 go test -race "$@" ./...

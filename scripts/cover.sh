@@ -42,6 +42,7 @@ BEGIN {
     f[pre "/internal/netstack"] = 84
     f[pre "/internal/node"] = 81
     f[pre "/internal/npb"] = 94
+    f[pre "/internal/obs"] = 85
     f[pre "/internal/serve"] = 81
     f[pre "/internal/sim"] = 92
     f[pre "/internal/sram"] = 88
