@@ -257,6 +257,60 @@ func TestBatchedServeFaultReplayDeterminism(t *testing.T) {
 	}
 }
 
+// TestReplicatedFaultReplayDeterminism is the replication chaos gate: a
+// whole-DIMM flap mid-window on the replicated serving tier must cost no
+// availability — reads fail over to the backup replica (no misses, no
+// errors from the outage), sync writes stay durable, the async forward
+// window stays bounded, and the primaries and backups converge after the
+// final anti-entropy sweep. The whole run — failover counts, catch-up
+// event timeline, latency quantiles — must replay byte-identically per
+// seed and differ across seeds.
+func TestReplicatedFaultReplayDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replicated fault-replay run skipped in -short mode")
+	}
+	a := mcn.ServeFaultsRepl(77)
+	if !a.Repl || !a.Result.ReplOn {
+		t.Fatal("replicated chaos serve run reports the replication plane off")
+	}
+	if !a.Admitted {
+		t.Fatal("replicated run must have the admission plane armed (it is the failover signal)")
+	}
+	rc := a.Result.ReplCounters
+	if a.Result.FailedOver == 0 || rc.FailoverReads == 0 {
+		t.Fatalf("DIMM flap triggered no failover reads; replication looks inert: %s", rc.String())
+	}
+	if a.Result.Misses != 0 {
+		t.Fatalf("flap cost %d GET misses; backup replica did not cover the keyspace", a.Result.Misses)
+	}
+	if a.Result.Errors != 0 {
+		t.Fatalf("flap cost %d errors; replicated serving should ride through the outage", a.Result.Errors)
+	}
+	if rc.SyncAcks == 0 {
+		t.Fatalf("no sync write ever waited for the backup ack: %s", rc.String())
+	}
+	if rc.SyncFailed != 0 {
+		t.Fatalf("%d sync writes failed outright (want degrade-to-local during the flap, never an error)", rc.SyncFailed)
+	}
+	if w := int64(mcn.DefaultServeRepl.WithDefaults().Window); rc.MaxPending > w {
+		t.Fatalf("async forward backlog hit %d, above the %d-record window", rc.MaxPending, w)
+	}
+	if rc.CatchupPulls == 0 || rc.CatchupRecs == 0 {
+		t.Fatalf("recovered primary never pulled a catch-up delta: %s", rc.String())
+	}
+	if a.Diverged != 0 {
+		t.Fatalf("%d keys diverged between primaries and backups after the final sweep", a.Diverged)
+	}
+	b := mcn.ServeFaultsRepl(77)
+	if as, bs := a.String(), b.String(); as != bs {
+		t.Fatalf("same seed, different replicated fault replay:\n--- run A ---\n%s--- run B ---\n%s", as, bs)
+	}
+	c := mcn.ServeFaultsRepl(78)
+	if c.String() == a.String() {
+		t.Fatal("different seed replayed the identical replicated result")
+	}
+}
+
 // TestFaultReplayDeterminism is the cheap always-on determinism regression:
 // two runs of a faulty transfer with one seed must agree on completion time
 // and every counter; a third run with a different seed must not.

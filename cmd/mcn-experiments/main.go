@@ -18,7 +18,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "", "which figure/table to regenerate: 8a, 8b, 8c, t3, 9, 10, 11, faults, serve, serve-batch, serve-faults, serve-admit, serve-attrib, all")
+	fig := flag.String("fig", "", "which figure/table to regenerate: 8a, 8b, 8c, t3, 9, 10, 11, faults, serve, serve-batch, serve-faults, serve-admit, serve-repl, serve-attrib, all")
 	headline := flag.Bool("headline", false, "compute the abstract's headline numbers")
 	discussion := flag.Bool("discussion", false, "run the Sec. VII TCP-overhead / fast-transport comparison")
 	scale := flag.Float64("scale", float64(mcn.QuickScale), "working-set multiplier for figs 9-11")
@@ -62,6 +62,8 @@ func main() {
 			fmt.Print(mcn.ServeFaults(*seed))
 		case "serve-admit":
 			fmt.Print(mcn.ServeAdmit(*seed))
+		case "serve-repl":
+			fmt.Print(mcn.ServeRepl(*seed))
 		case "serve-attrib":
 			fmt.Print(mcn.ServeAttrib(*seed))
 		default:

@@ -49,6 +49,9 @@ type runJSON struct {
 	MaxNs      float64        `json:"max_ns"`
 	Shed       int64          `json:"shed,omitempty"`
 	Rerouted   int64          `json:"rerouted,omitempty"`
+	Misses     int64          `json:"misses,omitempty"`
+	FailedOver int64          `json:"failed_over,omitempty"`
+	StaleReads int64          `json:"stale_reads,omitempty"`
 	Degraded   []int          `json:"degraded,omitempty"`
 	Shards     []runShardJSON `json:"shards"`
 }
@@ -61,6 +64,8 @@ type runShardJSON struct {
 	Unfinished int64   `json:"unfinished"`
 	Shed       int64   `json:"shed,omitempty"`
 	Rerouted   int64   `json:"rerouted,omitempty"`
+	Misses     int64   `json:"misses,omitempty"`
+	FailedOver int64   `json:"failed_over,omitempty"`
 	P99Ns      float64 `json:"p99_ns"`
 	MaxNs      int64   `json:"max_ns"`
 }
@@ -78,13 +83,37 @@ type benchJSON struct {
 
 // benchFaultsJSON is the fault-window headline: p99 (ns) over a measured
 // window containing a 2ms DIMM flap, with admission off, re-routing, and
-// shedding.
+// shedding, plus the replication off/on A/B on the same flap (misses,
+// failover reads, sync-write outcomes, post-run replica convergence).
 type benchFaultsJSON struct {
-	P99OffNs     float64 `json:"p99_off_ns"`
-	P99RerouteNs float64 `json:"p99_reroute_ns"`
-	P99ShedNs    float64 `json:"p99_shed_ns"`
-	Rerouted     int64   `json:"rerouted"`
-	Shed         int64   `json:"shed"`
+	P99OffNs      float64 `json:"p99_off_ns"`
+	P99RerouteNs  float64 `json:"p99_reroute_ns"`
+	P99ShedNs     float64 `json:"p99_shed_ns"`
+	Rerouted      int64   `json:"rerouted"`
+	Shed          int64   `json:"shed"`
+	P99ReplOffNs  float64 `json:"p99_repl_off_ns"`
+	P99ReplOnNs   float64 `json:"p99_repl_on_ns"`
+	MissesReplOff int64   `json:"misses_repl_off"`
+	MissesReplOn  int64   `json:"misses_repl_on"`
+	ErrorsReplOn  int64   `json:"errors_repl_on"`
+	FailoverReads int64   `json:"failover_reads"`
+	StaleReads    int64   `json:"stale_reads"`
+	SyncAcks      int64   `json:"sync_acks"`
+	SyncDegraded  int64   `json:"sync_degraded"`
+	Diverged      int     `json:"diverged"`
+}
+
+// replFaultsJSON builds the replication half of the faults section.
+func replFaultsJSON(fr *mcn.ServeReplResult) benchFaultsJSON {
+	rc := fr.On.Result.ReplCounters
+	return benchFaultsJSON{
+		P99ReplOffNs: fr.Off.Result.Summary().P99, P99ReplOnNs: fr.On.Result.Summary().P99,
+		MissesReplOff: fr.Off.Result.Misses, MissesReplOn: fr.On.Result.Misses,
+		ErrorsReplOn:  fr.On.Result.Errors,
+		FailoverReads: rc.FailoverReads, StaleReads: rc.StaleReads,
+		SyncAcks: rc.SyncAcks, SyncDegraded: rc.SyncDegraded,
+		Diverged: fr.On.Diverged,
+	}
 }
 
 type benchCurveJSON struct {
@@ -104,7 +133,7 @@ type benchPointJSON struct {
 
 func main() {
 	seed := flag.Uint64("seed", 42, "random seed; the same seed replays bit-identically")
-	topo := flag.String("topo", "mcn5", "serving topology: mcn0, mcn5, 10gbe, scaleup, or any with +batch (request batching) and/or +admit (admission control) suffixes")
+	topo := flag.String("topo", "mcn5", "serving topology: mcn0, mcn5, 10gbe, scaleup, or any with +batch (request batching), +admit (admission control) and/or +repl (primary/backup replication, implies +admit) suffixes")
 	rate := flag.Float64("rate", 400e3, "open-loop offered load, requests/sec")
 	workers := flag.Int("closed", 0, "closed-loop worker count (overrides -rate)")
 	curve := flag.Bool("curve", false, "sweep the full latency-vs-load curve over every topology")
@@ -117,7 +146,13 @@ func main() {
 	sample := flag.Int("sample", 1, "1-in-N span sampling rate for -trace/-metrics (1 traces every request)")
 	metricsOut := flag.String("metrics", "", "single run: write the metrics-registry snapshot JSON to this file")
 	check := flag.String("check", "", "with -curve: compare the swept points against this BENCH_serve.json and exit non-zero on drift")
+	replCheck := flag.String("replcheck", "", "re-run the replicated DIMM-flap A/B and compare against this BENCH_serve.json's faults section, exiting non-zero on drift")
 	flag.Parse()
+
+	if *replCheck != "" {
+		checkReplFaults(*replCheck, *seed)
+		return
+	}
 
 	var ladder []float64
 	if *rates != "" {
@@ -151,11 +186,11 @@ func main() {
 			b.Curves = append(b.Curves, bc)
 		}
 		fr := mcn.ServeAdmit(*seed)
-		b.Faults = benchFaultsJSON{
-			P99OffNs: fr.P99Off(), P99RerouteNs: fr.P99Reroute(), P99ShedNs: fr.P99Shed(),
-			Rerouted: fr.Reroute.Rerouted, Shed: fr.Shed.Shed,
-		}
-		value, text = b, r.String()+"\n"+fr.String()
+		rr := mcn.ServeRepl(*seed)
+		b.Faults = replFaultsJSON(rr)
+		b.Faults.P99OffNs, b.Faults.P99RerouteNs, b.Faults.P99ShedNs = fr.P99Off(), fr.P99Reroute(), fr.P99Shed()
+		b.Faults.Rerouted, b.Faults.Shed = fr.Reroute.Rerouted, fr.Shed.Shed
+		value, text = b, r.String()+"\n"+fr.String()+"\n"+rr.String()
 		*jsonOut = *jsonOut || *out != "" // the bench artifact is always JSON
 	case *curve:
 		r := mcn.ServeCurve(*seed, ladder)
@@ -180,12 +215,15 @@ func main() {
 			P50Ns: res.Total.Quantile(0.50), P95Ns: res.Total.Quantile(0.95),
 			P99Ns: res.Total.Quantile(0.99), P999Ns: res.Total.Quantile(0.999),
 			MaxNs: float64(res.Total.Max()), Shed: res.Shed, Rerouted: res.Rerouted,
-			Degraded: res.Degraded(),
+			Misses: res.Misses, FailedOver: res.FailedOver,
+			StaleReads: res.ReplCounters.StaleReads,
+			Degraded:   res.Degraded(),
 		}
 		for _, ss := range res.PerShard {
 			j.Shards = append(j.Shards, runShardJSON{
 				Shard: ss.Shard, Name: ss.Name, N: ss.N, Errors: ss.Errors,
 				Unfinished: ss.Unfinished, Shed: ss.Shed, Rerouted: ss.Rerouted,
+				Misses: ss.Misses, FailedOver: ss.FailedOver,
 				P99Ns: ss.Lat.Quantile(0.99), MaxNs: ss.Lat.Max(),
 			})
 		}
@@ -296,5 +334,81 @@ func checkCurve(path string, r *mcn.ServeCurveResult) {
 		fmt.Fprintf(os.Stderr, "-check: %d/%d points drifted from %s\n", bad, checked, path)
 		os.Exit(1)
 	}
+	// Replication overhead guard: the replicated topology's healthy knee
+	// must sit within 5% of the batched one's — the async forward path may
+	// not tax the primary's serving capacity. The knee is the p99-vs-SLO
+	// crossing interpolated between ladder points, not the quantized
+	// QpsAtSLO step: on a sparse rate ladder a curve whose p99 grazes the
+	// SLO at the top rate would otherwise "lose" a whole ladder step.
+	if br, bb := r.Curve("mcn5+batch+repl"), r.Curve("mcn5+batch"); br != nil && bb != nil {
+		kr, kb := kneeQps(br, r.SLONs), kneeQps(bb, r.SLONs)
+		if kb > 0 && math.Abs(kr-kb) > 0.05*kb {
+			fmt.Fprintf(os.Stderr, "-check: replicated knee %.0f strays >5%% from batched knee %.0f\n", kr, kb)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "-check: replicated knee %.0f within 5%% of batched knee %.0f\n", kr, kb)
+	}
 	fmt.Fprintf(os.Stderr, "-check: %d points match %s\n", checked, path)
+}
+
+// kneeQps locates where a curve's p99 crosses the SLO, linearly
+// interpolated in achieved qps between the bracketing ladder points. A
+// curve that never crosses is credited its highest achieved throughput.
+func kneeQps(c *mcn.ServeTopoCurve, sloNs float64) float64 {
+	knee := 0.0
+	for i, p := range c.Points {
+		if !p.Healthy() {
+			break
+		}
+		if p.Summary.P99 <= sloNs {
+			knee = p.Summary.QPS
+			continue
+		}
+		if i > 0 {
+			prev := c.Points[i-1].Summary
+			if p.Summary.P99 > prev.P99 {
+				frac := (sloNs - prev.P99) / (p.Summary.P99 - prev.P99)
+				knee = prev.QPS + frac*(p.Summary.QPS-prev.QPS)
+			}
+		}
+		break
+	}
+	return knee
+}
+
+// checkReplFaults re-runs the replicated DIMM-flap A/B at the artifact's
+// conditions and compares the replication half of the faults section:
+// counts exactly (the simulator is deterministic), quantiles to the same
+// float-formatting allowance as checkCurve.
+func checkReplFaults(path string, seed uint64) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "-replcheck: %v\n", err)
+		os.Exit(1)
+	}
+	var want benchJSON
+	if err := json.Unmarshal(raw, &want); err != nil {
+		fmt.Fprintf(os.Stderr, "-replcheck: bad artifact %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	if want.Seed != seed {
+		fmt.Fprintf(os.Stderr, "-replcheck: artifact seed %d, run seed %d — not comparable\n", want.Seed, seed)
+		os.Exit(1)
+	}
+	got := replFaultsJSON(mcn.ServeRepl(seed))
+	near := func(a, b float64) bool {
+		return math.Abs(a-b) <= 1e-9*math.Max(math.Abs(a), math.Abs(b))
+	}
+	w := want.Faults
+	if !near(got.P99ReplOffNs, w.P99ReplOffNs) || !near(got.P99ReplOnNs, w.P99ReplOnNs) ||
+		got.MissesReplOff != w.MissesReplOff || got.MissesReplOn != w.MissesReplOn ||
+		got.ErrorsReplOn != w.ErrorsReplOn ||
+		got.FailoverReads != w.FailoverReads || got.StaleReads != w.StaleReads ||
+		got.SyncAcks != w.SyncAcks || got.SyncDegraded != w.SyncDegraded ||
+		got.Diverged != w.Diverged {
+		fmt.Fprintf(os.Stderr, "-replcheck: replicated flap drifted from %s:\n  got  %+v\n  want %+v\n", path, got, w)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "-replcheck: replicated flap matches %s (misses off=%d on=%d, failover=%d, diverged=%d)\n",
+		path, got.MissesReplOff, got.MissesReplOn, got.FailoverReads, got.Diverged)
 }

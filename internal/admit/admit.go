@@ -170,6 +170,7 @@ type tracker struct {
 	reopenAt    sim.Time
 	probes      int // half-open probes in flight
 	probeOKs    int // consecutive successful probes this half-open window
+	gated       bool // probes passed but the readmission gate said not yet
 	everOpened  bool
 	ewmaNs      float64 // service-latency EWMA (ns), 0 until first sample
 	ewmaSeen    bool
@@ -185,7 +186,36 @@ type Controller struct {
 	trackers []*tracker
 	events   []stats.HealthEvent
 	counters stats.AdmitCounters
+	start    sim.Time
+
+	// observer, when set, sees every health event as it is recorded —
+	// the replication plane's hook for reacting to breaker transitions
+	// (failover on open, catch-up on the gated-readmission event).
+	observer func(stats.HealthEvent)
+	// gate, when set, is consulted before a shard that passed its
+	// half-open probes is closed: probes prove liveness, the gate proves
+	// readiness (for a replicated shard, that anti-entropy catch-up
+	// converged). A gated shard stays half-open — emitting one
+	// ReasonAwaitingGate self-transition — until Readmit closes it.
+	gate func(shard int) bool
 }
+
+// ReasonAwaitingGate is the health-timeline reason recorded when a
+// shard's probes all passed but the readmission gate held it half-open;
+// ReasonReadmitted is the close reason when Readmit then admits it.
+const (
+	ReasonAwaitingGate = "probes ok, awaiting catch-up"
+	ReasonReadmitted   = "catch-up complete"
+)
+
+// SetObserver registers the health-event observer (nil detaches). The
+// observer runs synchronously inside the recording call, so it must not
+// block; spawn a process for real work.
+func (c *Controller) SetObserver(f func(stats.HealthEvent)) { c.observer = f }
+
+// SetGate registers the readmission gate (nil detaches: probes alone
+// close the breaker, the pre-replication behavior).
+func (c *Controller) SetGate(f func(shard int) bool) { c.gate = f }
 
 // New builds a controller for the named shards. The run seed plus each
 // shard's name derives that shard's jitter stream, so topologies with the
@@ -197,7 +227,7 @@ func New(k *sim.Kernel, seed uint64, names []string) *Controller {
 // NewWithConfig is New with explicit tuning.
 func NewWithConfig(k *sim.Kernel, cfg Config, seed uint64, names []string) *Controller {
 	cfg = cfg.WithDefaults()
-	c := &Controller{k: k, cfg: cfg}
+	c := &Controller{k: k, cfg: cfg, start: k.Now()}
 	for i, name := range names {
 		c.trackers = append(c.trackers, &tracker{
 			shard: i, name: name,
@@ -238,10 +268,14 @@ func (c *Controller) Events() []stats.HealthEvent { return c.events }
 func (c *Controller) event(t *tracker, from, to State, reason string) {
 	t.state = to
 	t.barrier = c.k.Now()
-	c.events = append(c.events, stats.HealthEvent{
+	e := stats.HealthEvent{
 		Shard: t.shard, Name: t.name, T: c.k.Now(),
 		From: from.String(), To: to.String(), Reason: reason,
-	})
+	}
+	c.events = append(c.events, e)
+	if c.observer != nil {
+		c.observer(e)
+	}
 }
 
 // open trips the breaker (from closed or half-open): the window doubles
@@ -263,6 +297,7 @@ func (c *Controller) open(t *tracker, reason string) {
 	t.edges = 0
 	t.probes = 0
 	t.probeOKs = 0
+	t.gated = false
 	t.everOpened = true
 	c.counters.Opens++
 	c.event(t, from, Open, reason)
@@ -277,11 +312,22 @@ func (c *Controller) halfOpen(t *tracker) {
 }
 
 // close readmits the shard and resets the backoff.
-func (c *Controller) close(t *tracker) {
+func (c *Controller) close(t *tracker, reason string) {
 	t.cycles = 0
 	t.edges = 0
+	t.gated = false
 	c.counters.Closes++
-	c.event(t, HalfOpen, Closed, "probes ok")
+	c.event(t, HalfOpen, Closed, reason)
+}
+
+// Readmit closes a half-open shard the gate was holding back — the
+// replication plane calls it when catch-up converges. It is a no-op
+// unless the shard is half-open with its probe budget already passed.
+func (c *Controller) Readmit(shard int) {
+	t := c.trackers[shard]
+	if t.state == HalfOpen && t.probeOKs >= c.cfg.ProbeSuccesses {
+		c.close(t, ReasonReadmitted)
+	}
 }
 
 // edge registers one timeout or error edge.
@@ -343,6 +389,44 @@ func (c *Controller) Allow(shard int) bool {
 	}
 }
 
+// DwellTimes integrates the shard's breaker timeline up to now: how long
+// it has spent closed, open, and half-open since the controller started.
+// Replication failover windows read straight off the open dwell — the
+// obs registry exports these as gauges so `-metrics` shows them.
+func (c *Controller) DwellTimes(shard int, now sim.Time) (closed, open, halfOpen sim.Duration) {
+	t := c.trackers[shard]
+	state := Closed
+	last := c.start
+	add := func(until sim.Time) {
+		d := until.Sub(last)
+		switch state {
+		case Open:
+			open += d
+		case HalfOpen:
+			halfOpen += d
+		default:
+			closed += d
+		}
+	}
+	for _, e := range c.events {
+		if e.Shard != t.shard {
+			continue
+		}
+		add(e.T)
+		last = e.T
+		switch e.To {
+		case "open":
+			state = Open
+		case "half-open":
+			state = HalfOpen
+		default:
+			state = Closed
+		}
+	}
+	add(now)
+	return closed, open, halfOpen
+}
+
 // NoteShed records a request shed because every candidate shard was open.
 func (c *Controller) NoteShed() { c.counters.Shed++ }
 
@@ -386,7 +470,17 @@ func (c *Controller) OnComplete(shard int, serviceNs int64, ok bool) {
 		t.probes--
 		t.probeOKs++
 		if t.probeOKs >= c.cfg.ProbeSuccesses {
-			c.close(t)
+			if c.gate != nil && !c.gate(t.shard) {
+				// Liveness proven, readiness not: hold the shard
+				// half-open until Readmit. The self-transition marks the
+				// timeline (and wakes the observer) exactly once.
+				if !t.gated {
+					t.gated = true
+					c.event(t, HalfOpen, HalfOpen, ReasonAwaitingGate)
+				}
+				return
+			}
+			c.close(t, "probes ok")
 		}
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"github.com/mcn-arch/mcn/internal/sim"
+	"github.com/mcn-arch/mcn/internal/stats"
 )
 
 // newTest builds a controller over two shards with a fast, jitter-heavy
@@ -284,5 +285,118 @@ func TestEWMATracksLatency(t *testing.T) {
 	}
 	if c.Outstanding(0) != 0 {
 		t.Fatalf("outstanding = %d after completions", c.Outstanding(0))
+	}
+}
+
+// tripAndProbe drives shard 0 through one open cycle to the point where
+// both half-open probes have been sent and are about to complete.
+func tripAndProbe(k *sim.Kernel, c *Controller) {
+	cfg := c.Config()
+	c.OnSend(0)
+	k.RunFor(cfg.Timeout + sim.Microsecond)
+	c.Allow(0) // counts the timeout edge, opens
+	k.RunFor(2 * cfg.OpenBase)
+	c.Allow(0)
+	c.Allow(0)
+	c.OnSend(0)
+	c.OnSend(0)
+	k.RunFor(5 * sim.Microsecond)
+	// The originally stuck request completes first (FIFO) and is stale.
+	c.OnComplete(0, 50_000_000, true)
+}
+
+func TestReadmissionGateHoldsHalfOpen(t *testing.T) {
+	k, c := newTest(11, Config{})
+	ready := false
+	c.SetGate(func(shard int) bool { return ready })
+	var seen []string
+	c.SetObserver(func(e stats.HealthEvent) { seen = append(seen, e.From+">"+e.To+":"+e.Reason) })
+
+	tripAndProbe(k, c)
+	c.OnComplete(0, 5_000, true)
+	c.OnComplete(0, 5_000, true)
+	if c.State(0) != HalfOpen {
+		t.Fatalf("gated shard closed anyway: state=%v", c.State(0))
+	}
+	last := seen[len(seen)-1]
+	if last != "half-open>half-open:"+ReasonAwaitingGate {
+		t.Fatalf("gate hold not recorded; observer saw %v", seen)
+	}
+	// More completions while gated must not re-fire the awaiting event.
+	n := len(c.Events())
+	c.OnSend(0)
+	k.RunFor(sim.Microsecond)
+	c.OnComplete(0, 5_000, true)
+	if len(c.Events()) != n {
+		t.Fatalf("gated shard re-fired events: %v", c.Events()[n:])
+	}
+
+	// Readmit before the gate's catch-up finished is refused while probes
+	// are unmet on another shard, and succeeds here.
+	ready = true
+	c.Readmit(0)
+	if c.State(0) != Closed {
+		t.Fatalf("Readmit left state %v", c.State(0))
+	}
+	ev := c.Events()[len(c.Events())-1]
+	if ev.Reason != ReasonReadmitted || ev.From != "half-open" || ev.To != "closed" {
+		t.Fatalf("readmit event %+v", ev)
+	}
+	// Readmit on a closed shard is a no-op.
+	n = len(c.Events())
+	c.Readmit(0)
+	if len(c.Events()) != n {
+		t.Fatal("Readmit on a closed shard recorded an event")
+	}
+}
+
+func TestUngatedControllerClosesAsBefore(t *testing.T) {
+	k, c := newTest(12, Config{})
+	tripAndProbe(k, c)
+	c.OnComplete(0, 5_000, true)
+	c.OnComplete(0, 5_000, true)
+	if c.State(0) != Closed {
+		t.Fatalf("ungated probes did not close: %v", c.State(0))
+	}
+	if e := c.Events()[len(c.Events())-1]; e.Reason != "probes ok" {
+		t.Fatalf("normal close reason changed: %+v", e)
+	}
+}
+
+func TestDwellTimesIntegrateTimeline(t *testing.T) {
+	k, c := newTest(13, Config{})
+	cfg := c.Config()
+
+	// Shard 1 never transitions: all dwell is closed.
+	k.RunFor(sim.Millisecond)
+	cl, op, ho := c.DwellTimes(1, k.Now())
+	if cl != sim.Millisecond || op != 0 || ho != 0 {
+		t.Fatalf("untouched shard dwell closed=%v open=%v half-open=%v", cl, op, ho)
+	}
+
+	// Shard 0: closed until the timeout edge, open until the window
+	// expires, then half-open.
+	c.OnSend(0)
+	k.RunFor(cfg.Timeout + sim.Microsecond)
+	c.Allow(0) // opens now
+	openedAt := k.Now()
+	k.RunFor(2 * cfg.OpenBase)
+	c.Allow(0) // first probe flips to half-open
+	halfAt := k.Now()
+	k.RunFor(sim.Millisecond)
+	now := k.Now()
+
+	cl, op, ho = c.DwellTimes(0, now)
+	if cl != openedAt.Sub(sim.Time(0)) {
+		t.Fatalf("closed dwell %v, want %v", cl, openedAt.Sub(sim.Time(0)))
+	}
+	if op != halfAt.Sub(openedAt) {
+		t.Fatalf("open dwell %v, want %v", op, halfAt.Sub(openedAt))
+	}
+	if ho != now.Sub(halfAt) {
+		t.Fatalf("half-open dwell %v, want %v", ho, now.Sub(halfAt))
+	}
+	if cl+op+ho != now.Sub(sim.Time(0)) {
+		t.Fatalf("dwell times do not partition the run: %v+%v+%v != %v", cl, op, ho, now)
 	}
 }

@@ -48,7 +48,7 @@ func ServeTracedFaults(seed uint64, topo string, rate float64, sampleN int) *Ser
 
 func serveTraced(seed uint64, topo string, rate float64, closedWorkers, sampleN int,
 	plan func(*sim.Kernel, *serve.Config) *faults.Plan) *ServeTraceResult {
-	fabric, batched, admitted := parseServeTopo(topo)
+	fabric, batched, admitted, replicated := parseServeTopo(topo)
 	k := sim.NewKernel()
 	shards, clients, inject, observe := buildServeTopo(k, fabric)
 	cfg := serveConfig(seed, rate)
@@ -58,6 +58,12 @@ func serveTraced(seed uint64, topo string, rate float64, closedWorkers, sampleN 
 	}
 	if admitted {
 		cfg.Admit = DefaultServeAdmit
+	}
+	if replicated {
+		cfg.Repl = DefaultServeRepl
+		if !cfg.Admit.Enabled() {
+			cfg.Admit = DefaultServeAdmit
+		}
 	}
 	if closedWorkers > 0 {
 		cfg.ClosedWorkers = closedWorkers

@@ -11,6 +11,7 @@ import (
 	"github.com/mcn-arch/mcn/internal/kvstore"
 	"github.com/mcn-arch/mcn/internal/netstack"
 	"github.com/mcn-arch/mcn/internal/obs"
+	"github.com/mcn-arch/mcn/internal/replica"
 	"github.com/mcn-arch/mcn/internal/serve"
 	"github.com/mcn-arch/mcn/internal/sim"
 )
@@ -36,9 +37,11 @@ const DefaultServeSLONs = 40e3 // 40us
 // ServeTopos lists the serving topologies in presentation order. A
 // "+batch" suffix runs the same fabric with request batching on the
 // shard connections (DefaultServeBatch); a "+admit" suffix adds the
-// admission-control plane (DefaultServeAdmit). Suffixes compose in any
-// order.
-var ServeTopos = []string{"mcn0", "mcn5", "mcn0+batch", "mcn5+batch", "mcn5+batch+admit", "10gbe", "scaleup"}
+// admission-control plane (DefaultServeAdmit); a "+repl" suffix adds
+// primary/backup replication across the DIMM shards (DefaultServeRepl,
+// which implies admission control — the breaker is the failover signal).
+// Suffixes compose in any order.
+var ServeTopos = []string{"mcn0", "mcn5", "mcn0+batch", "mcn5+batch", "mcn5+batch+admit", "mcn5+batch+repl", "10gbe", "scaleup"}
 
 // DefaultServeBatch is the coalescing bound the "+batch" topologies use:
 // flush at 16 requests, 8KB, or 2us after the first dequeue — whichever
@@ -55,6 +58,14 @@ var DefaultServeBatch = serve.BatchConfig{MaxRequests: 16, MaxBytes: 8 << 10, Wi
 // policy, so a tripped shard's keys fall through to the next vnode owner
 // instead of fast-failing.
 var DefaultServeAdmit = admit.Config{On: true, Policy: admit.Reroute}
+
+// DefaultServeRepl is the replication configuration the "+repl"
+// topologies use: the internal/replica defaults (R=2 primary/backup
+// pairs, a 32-record async forward window, 1ms sync-ack timeout). A
+// replicated topology always runs with admission control on — the
+// breaker state is what steers reads to the backup and gates the
+// recovered primary's readmission behind catch-up.
+var DefaultServeRepl = replica.Config{On: true}
 
 // ServePoint is one offered-load point of one topology's curve.
 type ServePoint struct {
@@ -170,9 +181,10 @@ func buildServeTopo(k *sim.Kernel, topo string) (shards []serve.Shard, clients [
 	return shards, clients, inject, observe
 }
 
-// parseServeTopo strips the composable "+batch"/"+admit" suffixes off a
-// topology name, in any order, returning the bare fabric and the flags.
-func parseServeTopo(topo string) (fabric string, batched, admitted bool) {
+// parseServeTopo strips the composable "+batch"/"+admit"/"+repl"
+// suffixes off a topology name, in any order, returning the bare fabric
+// and the flags.
+func parseServeTopo(topo string) (fabric string, batched, admitted, replicated bool) {
 	fabric = topo
 	for {
 		if f, ok := strings.CutSuffix(fabric, "+batch"); ok {
@@ -183,16 +195,21 @@ func parseServeTopo(topo string) (fabric string, batched, admitted bool) {
 			fabric, admitted = f, true
 			continue
 		}
-		return fabric, batched, admitted
+		if f, ok := strings.CutSuffix(fabric, "+repl"); ok {
+			fabric, replicated = f, true
+			continue
+		}
+		return fabric, batched, admitted, replicated
 	}
 }
 
 // runServe executes one point: fresh kernel, topology, measured run. A
-// "+batch" suffix on topo enables DefaultServeBatch and a "+admit" suffix
-// DefaultServeAdmit on the fabric the remainder names; suffixes compose
-// in any order ("mcn5+batch+admit" == "mcn5+admit+batch").
+// "+batch" suffix on topo enables DefaultServeBatch, a "+admit" suffix
+// DefaultServeAdmit, and a "+repl" suffix DefaultServeRepl (which implies
+// "+admit") on the fabric the remainder names; suffixes compose in any
+// order ("mcn5+batch+admit" == "mcn5+admit+batch").
 func runServe(seed uint64, topo string, rate float64, plan *faults.Plan, mutate func(*serve.Config)) *serve.Result {
-	fabric, batched, admitted := parseServeTopo(topo)
+	fabric, batched, admitted, replicated := parseServeTopo(topo)
 	k := sim.NewKernel()
 	shards, clients, inject, observe := buildServeTopo(k, fabric)
 	_ = observe
@@ -206,6 +223,12 @@ func runServe(seed uint64, topo string, rate float64, plan *faults.Plan, mutate 
 	}
 	if admitted {
 		cfg.Admit = DefaultServeAdmit
+	}
+	if replicated {
+		cfg.Repl = DefaultServeRepl
+		if !cfg.Admit.Enabled() {
+			cfg.Admit = DefaultServeAdmit
+		}
 	}
 	if mutate != nil {
 		mutate(&cfg)
@@ -288,12 +311,17 @@ type ServeFaultsResult struct {
 	Seed       uint64
 	Batched    bool
 	Admitted   bool
+	Repl       bool
 	FlapDimm   string
 	FlapStart  sim.Time
 	FlapEnd    sim.Time
 	Result     *serve.Result
 	Degraded   []int
 	FlapShards []string
+	// Diverged counts primary/backup key disagreements remaining after the
+	// post-run drain and final anti-entropy sweep; a replicated run must
+	// end at 0 (every surviving write landed on both replicas).
+	Diverged int
 }
 
 // ServeFaults runs the mcn5 serving topology with one DIMM flapping
@@ -301,13 +329,15 @@ type ServeFaultsResult struct {
 // kernel is driven to a fixed deadline); the flapped shard shows up as
 // degraded — errors, unfinished requests, or a collapsed tail — while the
 // other shards keep serving.
-func ServeFaults(seed uint64) *ServeFaultsResult { return serveFaults(seed, false, admit.Config{}) }
+func ServeFaults(seed uint64) *ServeFaultsResult {
+	return serveFaults(seed, false, admit.Config{}, replica.Config{})
+}
 
 // ServeFaultsBatched is ServeFaults with request batching on the shard
 // connections — the determinism and degradation story must hold with the
 // coalescing window in the path.
 func ServeFaultsBatched(seed uint64) *ServeFaultsResult {
-	return serveFaults(seed, true, admit.Config{})
+	return serveFaults(seed, true, admit.Config{}, replica.Config{})
 }
 
 // ServeFaultsAdmitted is ServeFaultsBatched with the admission-control
@@ -315,10 +345,18 @@ func ServeFaultsBatched(seed uint64) *ServeFaultsResult {
 // opens, traffic re-routes to the next vnode owners, and the breaker
 // event trace replays byte-identically from the seed.
 func ServeFaultsAdmitted(seed uint64) *ServeFaultsResult {
-	return serveFaults(seed, true, DefaultServeAdmit)
+	return serveFaults(seed, true, DefaultServeAdmit, replica.Config{})
 }
 
-func serveFaults(seed uint64, batched bool, admitCfg admit.Config) *ServeFaultsResult {
+// ServeFaultsRepl is ServeFaultsAdmitted with the replication plane on:
+// the flapped shard's keys keep serving from the backup replica, every
+// 8th SET is synchronous, and after the run the primaries and backups are
+// driven to convergence and diffed (Diverged must be 0).
+func ServeFaultsRepl(seed uint64) *ServeFaultsResult {
+	return serveFaults(seed, true, DefaultServeAdmit, DefaultServeRepl)
+}
+
+func serveFaults(seed uint64, batched bool, admitCfg admit.Config, replCfg replica.Config) *ServeFaultsResult {
 	const flapDimm = "host/mcn3"
 	cfg := serveConfig(seed, 200e3)
 	// Give the drain room for the RTO-driven recovery after the flap.
@@ -327,6 +365,10 @@ func serveFaults(seed uint64, batched bool, admitCfg admit.Config) *ServeFaultsR
 		cfg.Batch = DefaultServeBatch
 	}
 	cfg.Admit = admitCfg
+	cfg.Repl = replCfg
+	if replCfg.Enabled() {
+		cfg.Workload.SyncEvery = 8
+	}
 
 	k := sim.NewKernel()
 	shards, clients, inject, _ := buildServeTopo(k, "mcn5")
@@ -340,13 +382,25 @@ func serveFaults(seed uint64, batched bool, admitCfg admit.Config) *ServeFaultsR
 		DimmFlaps: []faults.DimmFlap{{Name: flapDimm, Start: flapStart, End: flapEnd}},
 	}))
 	r := serve.Run(k, cfg)
-	k.Shutdown()
 
 	out := &ServeFaultsResult{
-		Seed: seed, Batched: batched, Admitted: admitCfg.Enabled(),
+		Seed: seed, Batched: batched, Admitted: admitCfg.Enabled(), Repl: replCfg.Enabled(),
 		FlapDimm: flapDimm, FlapStart: flapStart, FlapEnd: flapEnd,
 		Result: r, Degraded: r.Degraded(),
 	}
+	if r.Repl != nil {
+		// Convergence check: let the async forward windows drain, then run
+		// one final anti-entropy sweep over every pair, then diff. Writes
+		// cut off by the run deadline mid-forward are exactly what the
+		// sweep repairs.
+		k.RunUntil(k.Now().Add(2 * sim.Millisecond))
+		k.Go("exp/final-sweep", func(p *sim.Proc) { r.Repl.FinalSweep(p) })
+		k.RunUntil(k.Now().Add(5 * sim.Millisecond))
+		for i := range shards {
+			out.Diverged += replica.Diverged(shards[i].Server, shards[i].Backup)
+		}
+	}
+	k.Shutdown()
 	for _, s := range out.Degraded {
 		out.FlapShards = append(out.FlapShards, r.PerShard[s].Name)
 	}
@@ -363,9 +417,60 @@ func (r *ServeFaultsResult) String() string {
 	if r.Admitted {
 		mode += ", admitted"
 	}
+	if r.Repl {
+		mode += ", replicated"
+	}
 	fmt.Fprintf(&b, "serving under a DIMM flap: %s offline [%v, %v) (seed %d%s)\n",
 		r.FlapDimm, r.FlapStart, r.FlapEnd, r.Seed, mode)
 	b.WriteString(r.Result.String())
+	if r.Repl {
+		fmt.Fprintf(&b, "post-run convergence: %d diverged keys\n", r.Diverged)
+	}
+	return b.String()
+}
+
+// ServeReplResult is the replication A/B under a DIMM flap: identical
+// topology, seed, flap window and offered load on mcn5+batch with
+// admission control (re-route), run with replication off and on. Without
+// replication the flapped shard's keys re-route to a vnode neighbour
+// that has never seen them — GETs come back as misses and SETs land on
+// the wrong shard. With replication the same keys keep serving real data
+// from the backup replica, sync writes stay durable, and the recovered
+// primary catches up before readmission.
+type ServeReplResult struct {
+	Seed uint64
+	Off  *ServeFaultsResult
+	On   *ServeFaultsResult
+}
+
+// ServeRepl runs the DIMM-flap serving experiment with replication off
+// and on. Every stream derives from the seed, so each variant replays
+// bit-identically.
+func ServeRepl(seed uint64) *ServeReplResult {
+	return &ServeReplResult{
+		Seed: seed,
+		Off:  serveFaults(seed, true, DefaultServeAdmit, replica.Config{}),
+		On:   serveFaults(seed, true, DefaultServeAdmit, DefaultServeRepl),
+	}
+}
+
+// String renders the A/B with the availability headline.
+func (r *ServeReplResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "replication under a DIMM flap: %s offline [%v, %v), mcn5+batch+admit (seed %d)\n",
+		r.Off.FlapDimm, r.Off.FlapStart, r.Off.FlapEnd, r.Seed)
+	for _, v := range []struct {
+		name string
+		res  *ServeFaultsResult
+	}{{"repl=off", r.Off}, {"repl=on", r.On}} {
+		fmt.Fprintf(&b, "--- %s ---\n%s", v.name, v.res.Result)
+	}
+	on, off := r.On.Result, r.Off.Result
+	fmt.Fprintf(&b, "flap-window availability: misses off=%d on=%d | errors on=%d | failover reads=%d stale=%d\n",
+		off.Misses, on.Misses, on.Errors, on.ReplCounters.FailoverReads, on.ReplCounters.StaleReads)
+	fmt.Fprintf(&b, "p99: off=%.1fus on=%.1fus | sync acks=%d degraded=%d | diverged after sweep=%d\n",
+		off.Summary().P99/1e3, on.Summary().P99/1e3,
+		on.ReplCounters.SyncAcks, on.ReplCounters.SyncDegraded, r.On.Diverged)
 	return b.String()
 }
 

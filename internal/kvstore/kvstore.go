@@ -10,6 +10,7 @@ package kvstore
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 
 	"github.com/mcn-arch/mcn/internal/cluster"
 	"github.com/mcn-arch/mcn/internal/netstack"
@@ -21,10 +22,39 @@ import (
 // Wire protocol: request = [1B op][2B keyLen][4B valLen][key][val]
 //
 //	response = [1B status][4B valLen][val]
+//
+// Replication ops (OpReplSet, OpReplDelete) extend the fixed header with
+// a 12-byte version block — [4B epoch][8B ver] — between the header and
+// the body, so a backup can apply forwarded writes under the same
+// last-writer-wins order the primary assigned.
 const (
 	OpGet = iota + 1
 	OpSet
 	OpDelete
+	// OpReplSet / OpReplDelete apply a forwarded (or anti-entropy) write
+	// at its origin version: newer versions win, older ones are ignored.
+	OpReplSet
+	OpReplDelete
+	// OpDelta is the anti-entropy pull: the value is an 8-byte apply
+	// sequence and the response is a delta payload of every live version
+	// applied after it (see AppendDeltaRequest / ParseDelta).
+	OpDelta
+)
+
+// The top bits of the op byte are per-request flags; OpMask strips them.
+const (
+	// SyncFlag on a SET/DELETE asks the primary to hold the response
+	// until the backup acknowledged the forwarded write (or the backup is
+	// not admitted, in which case the write is acked durable-at-every-
+	// admitted-replica).
+	SyncFlag = 0x80
+	// FailoverFlag marks a request the replica-aware router redirected to
+	// a backup store because the primary's breaker was open. Failover
+	// writes open a new per-key epoch, fencing any of the dead primary's
+	// forwards still in flight.
+	FailoverFlag = 0x40
+	// OpMask strips the flag bits off the op byte.
+	OpMask = 0x3F
 )
 
 const (
@@ -37,6 +67,10 @@ const (
 	// MaxValueBytes. The server cannot trust the declared body length, so
 	// it closes the connection after responding.
 	StatusTooLarge
+	// StatusUnavail reports a sync write whose backup ack did not arrive
+	// in time while the backup was still admitted — the caller cannot
+	// assume the write is replicated.
+	StatusUnavail
 )
 
 // Size limits, enforced server-side (and preflighted client-side), in the
@@ -51,6 +85,10 @@ var ErrBadOp = fmt.Errorf("kvstore: unknown opcode")
 
 // ErrTooLarge is returned when a key or value exceeds the size limits.
 var ErrTooLarge = fmt.Errorf("kvstore: key or value too large")
+
+// ErrUnavail is returned when a sync write could not be confirmed at the
+// backup before the deadline.
+var ErrUnavail = fmt.Errorf("kvstore: sync write unconfirmed at backup")
 
 // ReqHeaderBytes and RespHeaderBytes are the fixed header sizes; exported
 // so load generators (internal/serve) can speak the wire protocol with
@@ -106,12 +144,140 @@ func ParseRespHeader(hdr []byte) (status byte, valLen int, ok bool) {
 	return hdr[0], int(binary.LittleEndian.Uint32(hdr[1:5])), true
 }
 
+// ReplVerBytes is the size of the version block replication ops carry
+// between the fixed header and the body: [4B epoch][8B ver].
+const ReplVerBytes = 12
+
+// ReplRecord is one versioned write as it travels between replicas — on
+// the forward stream, in delta payloads, and through ApplyReplRecord.
+// Op is OpSet or OpDelete (a delete ships as a versioned tombstone).
+type ReplRecord struct {
+	Op    byte
+	Key   string
+	Val   []byte
+	Epoch uint32
+	Ver   uint64
+}
+
+// Forwarder receives every locally-applied write of a primary store for
+// primary->backup replication. Forward reports whether the write may be
+// acked to the client: async forwards always return true immediately;
+// sync forwards block (on p) until the backup acked, the backup was
+// found not admitted (degraded local ack), or the deadline passed
+// (false -> StatusUnavail).
+type Forwarder interface {
+	Forward(p *sim.Proc, rec ReplRecord, sync bool) bool
+}
+
+// AppendReplRequest appends one replication request — a version-extended
+// OpReplSet/OpReplDelete — to buf and returns the extended slice.
+func AppendReplRequest(buf []byte, op byte, key string, val []byte, epoch uint32, ver uint64) []byte {
+	var hdr [reqHeaderBytes + ReplVerBytes]byte
+	hdr[0] = op
+	binary.LittleEndian.PutUint16(hdr[1:3], uint16(len(key)))
+	binary.LittleEndian.PutUint32(hdr[3:7], uint32(len(val)))
+	binary.LittleEndian.PutUint32(hdr[7:11], epoch)
+	binary.LittleEndian.PutUint64(hdr[11:19], ver)
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, key...)
+	return append(buf, val...)
+}
+
+// ParseReplVer decodes the 12-byte version block of a replication op.
+func ParseReplVer(b []byte) (epoch uint32, ver uint64, ok bool) {
+	if len(b) < ReplVerBytes {
+		return 0, 0, false
+	}
+	return binary.LittleEndian.Uint32(b[0:4]), binary.LittleEndian.Uint64(b[4:12]), true
+}
+
+// AppendDeltaRequest appends one anti-entropy pull request to buf: "send
+// me every key version applied after afterSeq". The response value is a
+// delta payload (ParseDelta); the puller advances afterSeq to the
+// payload's throughSeq and repeats until a chunk comes back empty with
+// throughSeq == afterSeq.
+func AppendDeltaRequest(buf []byte, afterSeq uint64) []byte {
+	var seq [8]byte
+	binary.LittleEndian.PutUint64(seq[:], afterSeq)
+	return AppendRequest(buf, OpDelta, "", seq[:])
+}
+
+// Delta payload: [8B throughSeq][4B count] then count records, each
+// [1B op][4B epoch][8B ver][2B keyLen][4B valLen][key][val].
+const deltaHdrBytes = 12
+const deltaRecHdrBytes = 19
+
+// deltaChunkBytes bounds one delta response so a catch-up of a large
+// store streams in bounded chunks instead of one giant value.
+const deltaChunkBytes = 128 << 10
+
+// ParseDelta decodes a delta payload into its records and the journal
+// sequence the chunk reached; ok is false on a malformed payload.
+func ParseDelta(payload []byte) (throughSeq uint64, recs []ReplRecord, ok bool) {
+	if len(payload) < deltaHdrBytes {
+		return 0, nil, false
+	}
+	throughSeq = binary.LittleEndian.Uint64(payload[0:8])
+	count := int(binary.LittleEndian.Uint32(payload[8:12]))
+	p := payload[deltaHdrBytes:]
+	for i := 0; i < count; i++ {
+		if len(p) < deltaRecHdrBytes {
+			return 0, nil, false
+		}
+		op := p[0]
+		epoch := binary.LittleEndian.Uint32(p[1:5])
+		ver := binary.LittleEndian.Uint64(p[5:13])
+		kl := int(binary.LittleEndian.Uint16(p[13:15]))
+		vl := int(binary.LittleEndian.Uint32(p[15:19]))
+		p = p[deltaRecHdrBytes:]
+		if len(p) < kl+vl {
+			return 0, nil, false
+		}
+		rec := ReplRecord{Op: op, Key: string(p[:kl]), Epoch: epoch, Ver: ver}
+		if vl > 0 {
+			rec.Val = append([]byte(nil), p[kl:kl+vl]...)
+		}
+		recs = append(recs, rec)
+		p = p[kl+vl:]
+	}
+	return throughSeq, recs, true
+}
+
+// Version is one key's exported replication version: (epoch, ver)
+// ordered lexicographically, Dead marking a tombstone. Convergence
+// checks compare two stores' version maps.
+type Version struct {
+	Epoch uint32
+	Ver   uint64
+	Dead  bool
+}
+
+// newer reports whether version (e1, v1) supersedes (e2, v2).
+func newer(e1 uint32, v1 uint64, e2 uint32, v2 uint64) bool {
+	if e1 != e2 {
+		return e1 > e2
+	}
+	return v1 > v2
+}
+
 // Server is one key/value node.
 type Server struct {
 	ep    cluster.Endpoint
 	port  uint16
-	data  map[string][]byte
+	data  map[string]entry
+	live  int // keys present and not tombstoned
 	bytes int64
+
+	// applySeq numbers every local write in apply order; journal records
+	// (seq, key) pairs in that order so a delta stream walks writes
+	// deterministically (Go map iteration would not replay).
+	applySeq uint64
+	journal  []journalEntry
+
+	// fwd, when set, receives every locally-applied client write for
+	// primary->backup forwarding. Forwarded/anti-entropy applies
+	// (OpReplSet/OpReplDelete) are never re-forwarded.
+	fwd Forwarder
 
 	// tracer, when set, stamps each request's service-complete boundary
 	// (the moment its response is appended to the write burst).
@@ -121,6 +287,27 @@ type Server struct {
 	Gets, Sets, Dels, Misses int64
 	// BadOps and TooLarge count rejected malformed requests.
 	BadOps, TooLarge int64
+	// Replication stats: versioned applies accepted/ignored, requests
+	// that arrived flagged as failover traffic, and delta-stream volume.
+	ReplApplied, ReplStale     int64
+	FailoverGets, FailoverSets int64
+	DeltaReqs, DeltaRecs       int64
+}
+
+// entry is one stored key: its value plus the replication version. A
+// tombstone (dead=true) keeps the version of a deleted key so a delete
+// can win over a slower forwarded set.
+type entry struct {
+	val   []byte
+	epoch uint32
+	ver   uint64
+	seq   uint64 // applySeq of the last write (journal-supersession key)
+	dead  bool
+}
+
+type journalEntry struct {
+	seq uint64
+	key string
 }
 
 // SetTracer attaches a span tracer; the server stamps the DimmService ->
@@ -128,12 +315,31 @@ type Server struct {
 // detaches.
 func (s *Server) SetTracer(t *obs.Tracer) { s.tracer = t }
 
+// SetForwarder attaches the primary->backup forwarder; nil detaches.
+func (s *Server) SetForwarder(f Forwarder) { s.fwd = f }
+
+// Seq returns the store's apply sequence (its journal position).
+func (s *Server) Seq() uint64 { return s.applySeq }
+
+// Versions snapshots every key's replication version, tombstones
+// included — the comparison surface for convergence checks.
+func (s *Server) Versions() map[string]Version {
+	out := make(map[string]Version, len(s.data))
+	for k, e := range s.data {
+		out[k] = Version{Epoch: e.epoch, Ver: e.ver, Dead: e.dead}
+	}
+	return out
+}
+
 // Endpoint returns the server's cluster endpoint (the node it runs on).
 func (s *Server) Endpoint() cluster.Endpoint { return s.ep }
 
+// Port returns the server's listening port.
+func (s *Server) Port() uint16 { return s.port }
+
 // NewServer creates a store and starts accepting connections.
 func NewServer(k *sim.Kernel, ep cluster.Endpoint, port uint16) *Server {
-	s := &Server{ep: ep, port: port, data: make(map[string][]byte)}
+	s := &Server{ep: ep, port: port, data: make(map[string]entry)}
 	k.Go(fmt.Sprintf("kv/%s", ep.Node.Name), func(p *sim.Proc) {
 		l, err := ep.Node.Stack.Listen(port)
 		if err != nil {
@@ -158,14 +364,20 @@ func (s *Server) Bytes() int64 { return s.bytes }
 // the measured window. It charges no simulated time.
 func (s *Server) Preload(key string, val []byte) {
 	if old, ok := s.data[key]; ok {
-		s.bytes -= int64(len(old))
+		s.bytes -= int64(len(old.val))
+		if !old.dead {
+			s.live--
+		}
 	}
-	s.data[key] = val
+	// Preloaded data is version zero on every replica, so replicas
+	// preloaded identically start converged without any journal.
+	s.data[key] = entry{val: val}
+	s.live++
 	s.bytes += int64(len(val))
 }
 
-// Len returns the number of keys.
-func (s *Server) Len() int { return len(s.data) }
+// Len returns the number of live keys (tombstones excluded).
+func (s *Server) Len() int { return s.live }
 
 // respFlushBytes bounds the response burst accumulated before an early
 // flush, so a train of large GETs cannot grow the burst without limit.
@@ -208,6 +420,9 @@ func (s *Server) serve(p *sim.Proc, c *netstack.TCPConn) {
 			return
 		}
 		op, keyLen, valLen, _ := ParseReqHeader(hdr)
+		base := op & OpMask
+		sync := op&SyncFlag != 0
+		failover := op&FailoverFlag != 0
 		if keyLen > MaxKeyBytes || valLen > MaxValueBytes {
 			// The declared body length cannot be trusted (consuming it
 			// could mean gigabytes), so reject and close the connection.
@@ -216,6 +431,18 @@ func (s *Server) serve(p *sim.Proc, c *netstack.TCPConn) {
 			c.Send(p, out)
 			c.Close(p)
 			return
+		}
+		var epoch uint32
+		var ver uint64
+		if base == OpReplSet || base == OpReplDelete {
+			if in.pending() < ReplVerBytes && !flush() {
+				return
+			}
+			vb, ok := in.next(p, ReplVerBytes)
+			if !ok {
+				return
+			}
+			epoch, ver, _ = ParseReplVer(vb)
 		}
 		if in.pending() < keyLen+valLen && !flush() {
 			return
@@ -227,36 +454,77 @@ func (s *Server) serve(p *sim.Proc, c *netstack.TCPConn) {
 		key := string(body[:keyLen])
 		status := byte(StatusOK)
 		var val []byte
-		switch op {
+		switch base {
 		case OpGet:
 			s.Gets++
-			v, ok := s.data[key]
-			if !ok {
+			if failover {
+				s.FailoverGets++
+			}
+			e, ok := s.data[key]
+			if !ok || e.dead {
 				s.Misses++
 				status = StatusMiss
 			} else {
 				// The near-memory read: stream the value from the
 				// node's DRAM.
-				s.ep.Node.MemStream(p, int64(len(v)), false)
-				val = v
+				s.ep.Node.MemStream(p, int64(len(e.val)), false)
+				val = e.val
 			}
 		case OpSet:
 			s.Sets++
 			stored := append([]byte(nil), body[keyLen:]...)
-			if old, ok := s.data[key]; ok {
-				s.bytes -= int64(len(old))
+			cur := s.data[key]
+			ep2, v2 := cur.epoch, cur.ver+1
+			if failover {
+				// A failover write opens a new epoch, fencing every
+				// forward of the dead primary still in flight.
+				s.FailoverSets++
+				ep2++
 			}
-			s.data[key] = stored
-			s.bytes += int64(len(stored))
+			s.store(key, stored, ep2, v2, false)
 			s.ep.Node.MemStream(p, int64(len(stored)), true)
+			if s.fwd != nil && !failover {
+				if !s.fwd.Forward(p, ReplRecord{Op: OpSet, Key: key, Val: stored, Epoch: ep2, Ver: v2}, sync) {
+					status = StatusUnavail
+				}
+			}
 		case OpDelete:
 			s.Dels++
-			if old, ok := s.data[key]; ok {
-				s.bytes -= int64(len(old))
-				delete(s.data, key)
-			} else {
+			cur, ok := s.data[key]
+			if !ok || cur.dead {
 				s.Misses++
 				status = StatusMiss
+			} else {
+				ep2, v2 := cur.epoch, cur.ver+1
+				if failover {
+					s.FailoverSets++
+					ep2++
+				}
+				s.store(key, nil, ep2, v2, true)
+				if s.fwd != nil && !failover {
+					if !s.fwd.Forward(p, ReplRecord{Op: OpDelete, Key: key, Epoch: ep2, Ver: v2}, sync) {
+						status = StatusUnavail
+					}
+				}
+			}
+		case OpReplSet, OpReplDelete:
+			ro := byte(OpSet)
+			var rv []byte
+			if base == OpReplDelete {
+				ro = OpDelete
+			} else {
+				rv = append([]byte(nil), body[keyLen:]...)
+			}
+			// A stale apply (the local version is already newer) is an
+			// idempotent no-op: still OK, so forward retries converge.
+			s.applyRepl(p, ReplRecord{Op: ro, Key: key, Val: rv, Epoch: epoch, Ver: ver})
+		case OpDelta:
+			if valLen != 8 {
+				s.BadOps++
+				status = StatusBadOp
+			} else {
+				after := binary.LittleEndian.Uint64(body[keyLen:])
+				val = s.buildDelta(p, after)
 			}
 		default:
 			// Unknown opcode: the body was consumed per the (validated)
@@ -270,6 +538,102 @@ func (s *Server) serve(p *sim.Proc, c *netstack.TCPConn) {
 			return
 		}
 	}
+}
+
+// store applies one write's shared bookkeeping: live/bytes accounting,
+// the next apply sequence, and the journal record the delta stream walks.
+func (s *Server) store(key string, val []byte, epoch uint32, ver uint64, dead bool) {
+	old, had := s.data[key]
+	if had {
+		s.bytes -= int64(len(old.val))
+		if !old.dead {
+			s.live--
+		}
+	}
+	s.applySeq++
+	s.data[key] = entry{val: val, epoch: epoch, ver: ver, seq: s.applySeq, dead: dead}
+	if !dead {
+		s.live++
+	}
+	s.bytes += int64(len(val))
+	s.journal = append(s.journal, journalEntry{seq: s.applySeq, key: key})
+}
+
+// applyRepl applies one forwarded or anti-entropy record iff its version
+// supersedes the local one. Older (or equal) versions are ignored —
+// replays and redundant pulls are idempotent.
+func (s *Server) applyRepl(p *sim.Proc, rec ReplRecord) bool {
+	cur := s.data[rec.Key]
+	if !newer(rec.Epoch, rec.Ver, cur.epoch, cur.ver) {
+		s.ReplStale++
+		return false
+	}
+	dead := rec.Op == OpDelete
+	var val []byte
+	if !dead {
+		val = rec.Val
+	}
+	s.store(rec.Key, val, rec.Epoch, rec.Ver, dead)
+	if len(val) > 0 {
+		s.ep.Node.MemStream(p, int64(len(val)), true)
+	}
+	s.ReplApplied++
+	return true
+}
+
+// ApplyReplRecord applies one replication record directly (the
+// anti-entropy puller's path, bypassing the wire when it already has the
+// decoded record in hand). It reports whether the record was newer.
+func (s *Server) ApplyReplRecord(p *sim.Proc, rec ReplRecord) bool { return s.applyRepl(p, rec) }
+
+// buildDelta encodes every journaled write after afterSeq, newest
+// version only, into one bounded delta chunk. The journal is walked in
+// apply order (superseded entries skipped — the superseding entry ships
+// the key), so the stream is deterministic where map iteration is not.
+func (s *Server) buildDelta(p *sim.Proc, afterSeq uint64) []byte {
+	i := sort.Search(len(s.journal), func(i int) bool { return s.journal[i].seq > afterSeq })
+	payload := make([]byte, deltaHdrBytes)
+	through := afterSeq
+	count := 0
+	var streamed int64
+	for ; i < len(s.journal); i++ {
+		je := s.journal[i]
+		through = je.seq
+		e, ok := s.data[je.key]
+		if !ok || e.seq != je.seq {
+			continue
+		}
+		rop := byte(OpSet)
+		var val []byte
+		if e.dead {
+			rop = OpDelete
+		} else {
+			val = e.val
+		}
+		var rh [deltaRecHdrBytes]byte
+		rh[0] = rop
+		binary.LittleEndian.PutUint32(rh[1:5], e.epoch)
+		binary.LittleEndian.PutUint64(rh[5:13], e.ver)
+		binary.LittleEndian.PutUint16(rh[13:15], uint16(len(je.key)))
+		binary.LittleEndian.PutUint32(rh[15:19], uint32(len(val)))
+		payload = append(payload, rh[:]...)
+		payload = append(payload, je.key...)
+		payload = append(payload, val...)
+		streamed += int64(len(val))
+		count++
+		if len(payload) >= deltaChunkBytes {
+			break
+		}
+	}
+	binary.LittleEndian.PutUint64(payload[0:8], through)
+	binary.LittleEndian.PutUint32(payload[8:12], uint32(count))
+	if streamed > 0 {
+		// The near-memory scan: the delta's values stream from DRAM.
+		s.ep.Node.MemStream(p, streamed, false)
+	}
+	s.DeltaReqs++
+	s.DeltaRecs += int64(count)
+	return payload
 }
 
 // connReader accumulates stream bytes so the request loop can consume
@@ -342,6 +706,14 @@ func (c *Client) Set(p *sim.Proc, key string, val []byte) error {
 	return err
 }
 
+// SetSync stores val under key and holds the ack until the write is
+// durable at every admitted replica; ErrUnavail reports a write the
+// primary could not confirm at the backup in time.
+func (c *Client) SetSync(p *sim.Proc, key string, val []byte) error {
+	_, _, err := c.do(p, OpSet|SyncFlag, key, val)
+	return err
+}
+
 // Get fetches key; ok=false on miss.
 func (c *Client) Get(p *sim.Proc, key string) ([]byte, bool, error) {
 	v, st, err := c.do(p, OpGet, key, nil)
@@ -386,6 +758,8 @@ func (c *Client) do(p *sim.Proc, op byte, key string, val []byte) ([]byte, byte,
 		return out, hdr[0], ErrBadOp
 	case StatusTooLarge:
 		return out, hdr[0], ErrTooLarge
+	case StatusUnavail:
+		return out, hdr[0], ErrUnavail
 	}
 	return out, hdr[0], nil
 }

@@ -10,6 +10,7 @@ import (
 	"github.com/mcn-arch/mcn/internal/kvstore"
 	"github.com/mcn-arch/mcn/internal/netstack"
 	"github.com/mcn-arch/mcn/internal/obs"
+	"github.com/mcn-arch/mcn/internal/replica"
 	"github.com/mcn-arch/mcn/internal/sim"
 	"github.com/mcn-arch/mcn/internal/stats"
 )
@@ -29,6 +30,10 @@ type Shard struct {
 	// store before the clock starts (the operator warm-up every serving
 	// benchmark performs).
 	Server *kvstore.Server
+	// Backup is this keyspace's backup store, created by Run on the next
+	// shard's node when Config.Repl is on (nil otherwise). Exposed so
+	// experiment harnesses can check primary/backup convergence.
+	Backup *kvstore.Server
 }
 
 // Config describes one load-generation run.
@@ -65,6 +70,13 @@ type Config struct {
 	// tail at the router instead of riding the TCP RTO. The zero value
 	// disables it.
 	Admit admit.Config
+	// Repl enables R=2 primary/backup replication (internal/replica): Run
+	// creates one backup store per keyspace on the next shard's node,
+	// forwards primary writes to it, and fails requests over to the
+	// backup while the primary's breaker is open. Requires Admit (the
+	// breaker state is the failover trigger) and at least two shards.
+	// The zero value disables it.
+	Repl replica.Config
 	// Tracer, when set, samples per-request spans: Run wires it onto the
 	// client and shard-server network stacks (composing with any tap
 	// already attached) and into the kvstore servers, and the load
@@ -139,15 +151,17 @@ func (c Config) Deadline() sim.Duration { return c.Warmup + c.Measure + c.Drain 
 
 // request is one in-flight operation.
 type request struct {
-	op      byte
-	key     int
-	shard   int
-	arrival sim.Time    // when the workload generated it (open-loop intent time)
-	deq     sim.Time    // when the connection dequeued it into a batch
-	sent    sim.Time    // when its batch reached the wire
-	eob     bool        // last request of its batch: completing it frees the pipeline slot
-	done    *sim.Signal // closed-loop completion, nil for open loop
-	span    *obs.Span   // sampled trace span, nil when untraced
+	op       byte
+	key      int
+	shard    int
+	sync     bool        // SET carrying the SyncFlag (wait for backup ack)
+	failover bool        // routed to the keyspace's backup store
+	arrival  sim.Time    // when the workload generated it (open-loop intent time)
+	deq      sim.Time    // when the connection dequeued it into a batch
+	sent     sim.Time    // when its batch reached the wire
+	eob      bool        // last request of its batch: completing it frees the pipeline slot
+	done     *sim.Signal // closed-loop completion, nil for open loop
+	span     *obs.Span   // sampled trace span, nil when untraced
 }
 
 // ShardStats is one shard's slice of a run.
@@ -165,6 +179,20 @@ type ShardStats struct {
 	// them; Rerouted counts in-window requests this shard absorbed from
 	// open peers. Both stay 0 with admission off.
 	Shed, Rerouted int64
+	// Misses counts in-window completed GETs that returned StatusMiss —
+	// with a preloaded keyspace these only appear when a request was
+	// re-routed to a shard that never held its key.
+	Misses int64
+	// FailedOver counts in-window requests of this keyspace served
+	// through its backup store while the primary's breaker was open.
+	FailedOver int64
+	// IssuedEver / DoneEver are lifetime (window-independent) counts of
+	// requests routed to and responses received from the shard. A shard
+	// that connected but never completed anything while the rest of the
+	// fleet made progress went dark before producing a single response —
+	// the signature Degraded() checks that in-window stats cannot see
+	// when the outage started inside the warmup.
+	IssuedEver, DoneEver int64
 	// Lat is the shard's total-latency histogram (measured window only).
 	Lat stats.HDR
 }
@@ -200,6 +228,20 @@ type Result struct {
 	Rerouted      int64
 	AdmitCounters stats.AdmitCounters
 	AdmitEvents   []stats.HealthEvent
+	// Misses totals the per-shard in-window completed-miss counts.
+	Misses int64
+	// ReplOn records whether the replication plane ran; the fields below
+	// are only populated when it did. FailedOver is the in-window count
+	// of requests served through a backup store; ReplCounters and
+	// ReplEvents are the whole-run replication tally and timeline.
+	ReplOn       bool
+	FailedOver   int64
+	ReplCounters stats.ReplCounters
+	ReplEvents   []stats.ReplEvent
+	// Repl is the live replication manager (nil when ReplOn is false) —
+	// kept on the result so harnesses can run post-deadline convergence
+	// sweeps (FinalSweep) and inspect pair state before kernel shutdown.
+	Repl *replica.Manager
 }
 
 // Summary is the warmup-trimmed headline of a run; latencies are in
@@ -239,8 +281,21 @@ const degradedFactor = 8
 // so post-hoc detection can never disagree with the control plane that
 // acted during the run. With admission off the original latency heuristic
 // is the fallback: errors, unfinished requests, or a tail collapsed
-// relative to the rest of the fleet.
+// relative to the rest of the fleet. Both verdicts also flag a shard
+// that went dark before the warmup ended: it was routed requests over
+// its lifetime yet never produced one response while the rest of the
+// fleet made progress — invisible to the in-window stats (Issued, N,
+// Errors and Unfinished are all zero for it) and to the latency
+// heuristic (no samples), because every stranded request predates the
+// measured window.
 func (r *Result) Degraded() []int {
+	var fleetDone int64
+	for _, ss := range r.PerShard {
+		fleetDone += ss.DoneEver
+	}
+	darkEver := func(ss *ShardStats) bool {
+		return ss.IssuedEver > 0 && ss.DoneEver == 0 && fleetDone > 0
+	}
 	if r.AdmitOn {
 		opened := make(map[int]bool)
 		for _, e := range r.AdmitEvents {
@@ -250,7 +305,7 @@ func (r *Result) Degraded() []int {
 		}
 		var out []int
 		for _, ss := range r.PerShard {
-			if ss.Errors > 0 || ss.Unfinished > 0 || ss.Shed > 0 || opened[ss.Shard] {
+			if ss.Errors > 0 || ss.Unfinished > 0 || ss.Shed > 0 || opened[ss.Shard] || darkEver(ss) {
 				out = append(out, ss.Shard)
 			}
 		}
@@ -269,7 +324,7 @@ func (r *Result) Degraded() []int {
 	}
 	var out []int
 	for _, ss := range r.PerShard {
-		if ss.Errors > 0 || ss.Unfinished > 0 || (med > 0 && ss.Lat.Max() >= degradedFactor*med) {
+		if ss.Errors > 0 || ss.Unfinished > 0 || darkEver(ss) || (med > 0 && ss.Lat.Max() >= degradedFactor*med) {
 			out = append(out, ss.Shard)
 		}
 	}
@@ -291,12 +346,18 @@ func (r *Result) String() string {
 		fmt.Fprintf(&b, "  batch   mean=%.1f max=%d reqs/flush | batch-wait p99=%.1fus\n",
 			r.BatchSize.Mean(), r.BatchSize.Max(), r.BatchWait.Quantile(0.99)/1e3)
 	}
-	if r.Errors > 0 || r.Unfinished > 0 {
-		fmt.Fprintf(&b, "  errors=%d unfinished=%d\n", r.Errors, r.Unfinished)
+	if r.Errors > 0 || r.Unfinished > 0 || r.Misses > 0 {
+		fmt.Fprintf(&b, "  errors=%d unfinished=%d misses=%d\n", r.Errors, r.Unfinished, r.Misses)
 	}
 	if r.AdmitOn {
 		fmt.Fprintf(&b, "  admit   %s\n", r.AdmitCounters.String())
 		for _, e := range r.AdmitEvents {
+			fmt.Fprintf(&b, "    %s\n", e)
+		}
+	}
+	if r.ReplOn {
+		fmt.Fprintf(&b, "  repl    %s\n", r.ReplCounters.String())
+		for _, e := range r.ReplEvents {
 			fmt.Fprintf(&b, "    %s\n", e)
 		}
 	}
@@ -306,8 +367,14 @@ func (r *Result) String() string {
 		if ss.Errors > 0 || ss.Unfinished > 0 {
 			fmt.Fprintf(&b, " errors=%d unfinished=%d", ss.Errors, ss.Unfinished)
 		}
+		if ss.Misses > 0 {
+			fmt.Fprintf(&b, " misses=%d", ss.Misses)
+		}
 		if ss.Shed > 0 || ss.Rerouted > 0 {
 			fmt.Fprintf(&b, " shed=%d rerouted=%d", ss.Shed, ss.Rerouted)
+		}
+		if ss.FailedOver > 0 {
+			fmt.Fprintf(&b, " failover=%d", ss.FailedOver)
 		}
 		fmt.Fprintln(&b)
 	}
@@ -331,18 +398,30 @@ type bench struct {
 	// precomputed only when the re-route policy needs fallback owners.
 	keyOwners [][]int
 	conns     [][]*shardConn // [client][shard]
-	ctrl      *admit.Controller
-	res       *Result
+	// bconns are the failover connections to each keyspace's backup
+	// store, dialed eagerly so a failover never pays a handshake
+	// mid-outage; nil with replication off.
+	bconns [][]*shardConn // [client][keyspace]
+	ctrl   *admit.Controller
+	repl   *replica.Manager
+	res    *Result
 
 	measStart, measEnd sim.Time
 }
 
-// shardConn is one client's pipelined connection to one shard: requests
+// shardConn is one client's pipelined connection to one store: requests
 // queue here after routing, a sender writes them onto the wire within the
-// in-flight window, and a receiver matches responses in FIFO order.
+// in-flight window, and a receiver matches responses in FIFO order. For
+// a failover connection shard stays the keyspace index (latency and miss
+// attribution), while admitShard is the physical host whose breaker the
+// connection's telemetry feeds — the backup's host, not the dead primary.
 type shardConn struct {
 	b           *bench
 	shard       int
+	admitShard  int
+	addr        netstack.IP
+	port        uint16
+	backup      bool
 	client      cluster.Endpoint
 	q           *sim.Queue[*request]
 	inflight    *sim.Resource
@@ -382,20 +461,6 @@ func Run(k *sim.Kernel, cfg Config) *Result {
 		b.res.OfferedQPS = 0
 	}
 
-	// Resolve every key's shard once, and preload the stores so the
-	// measured window runs at a warm 100% hit rate.
-	val := make([]byte, w.ValueBytes)
-	for i := range b.keys {
-		b.keys[i] = w.Key(i)
-		b.keyShard[i] = router.Shard(b.keys[i])
-		if srv := cfg.Shards[b.keyShard[i]].Server; srv != nil {
-			srv.Preload(b.keys[i], val)
-		}
-	}
-	for si := range cfg.Shards {
-		b.res.PerShard = append(b.res.PerShard, &ShardStats{Shard: si, Name: cfg.Shards[si].Name})
-	}
-
 	// The admission-control plane sits between the drivers and the router:
 	// one breaker per shard, every decision on the simulated clock, jitter
 	// seeded from the run seed so fault replays stay byte-identical.
@@ -406,11 +471,62 @@ func Run(k *sim.Kernel, cfg Config) *Result {
 		}
 		b.ctrl = admit.NewWithConfig(k, cfg.Admit, cfg.Seed, names)
 		b.res.AdmitOn = true
-		if cfg.Admit.Policy == admit.Reroute {
-			b.keyOwners = make([][]int, w.Keys)
-			for i := range b.keys {
-				b.keyOwners[i] = router.Owners(b.keys[i], len(cfg.Shards))
+	}
+
+	// The replication plane: one backup store per keyspace on the next
+	// shard's node, a forwarder per pair, and the readmission gate wired
+	// into the admission controller. Built before the preload so both
+	// replicas start converged.
+	if cfg.Repl.Enabled() {
+		if b.ctrl == nil {
+			panic("serve: replication requires admission control (Config.Admit)")
+		}
+		if len(cfg.Shards) < 2 {
+			panic("serve: replication needs at least two shards")
+		}
+		rc := cfg.Repl.WithDefaults()
+		pairs := make([]replica.Pair, len(cfg.Shards))
+		for i := range cfg.Shards {
+			if cfg.Shards[i].Server == nil {
+				panic("serve: replication needs every shard's Server")
 			}
+			h := (i + 1) % len(cfg.Shards)
+			bport := cfg.Shards[i].Port + uint16(rc.PortDelta)
+			bsrv := kvstore.NewServer(k, cfg.Shards[h].Server.Endpoint(), bport)
+			cfg.Shards[i].Backup = bsrv
+			pairs[i] = replica.Pair{
+				Index: i, Name: cfg.Shards[i].Name,
+				Primary: cfg.Shards[i].Server, Backup: bsrv,
+				BackupAddr: cfg.Shards[h].Addr, BackupPort: bport,
+				BackupHost: h,
+			}
+		}
+		b.repl = replica.NewManager(k, rc, cfg.Seed, b.ctrl, pairs)
+		b.res.ReplOn = true
+		b.res.Repl = b.repl
+	}
+
+	// Resolve every key's shard once, and preload the stores (both
+	// replicas, so they start converged at version zero) so the measured
+	// window runs at a warm 100% hit rate.
+	val := make([]byte, w.ValueBytes)
+	for i := range b.keys {
+		b.keys[i] = w.Key(i)
+		b.keyShard[i] = router.Shard(b.keys[i])
+		if srv := cfg.Shards[b.keyShard[i]].Server; srv != nil {
+			srv.Preload(b.keys[i], val)
+		}
+		if bsrv := cfg.Shards[b.keyShard[i]].Backup; bsrv != nil {
+			bsrv.Preload(b.keys[i], val)
+		}
+	}
+	for si := range cfg.Shards {
+		b.res.PerShard = append(b.res.PerShard, &ShardStats{Shard: si, Name: cfg.Shards[si].Name})
+	}
+	if b.ctrl != nil && cfg.Admit.Policy == admit.Reroute && b.repl == nil {
+		b.keyOwners = make([][]int, w.Keys)
+		for i := range b.keys {
+			b.keyOwners[i] = router.Owners(b.keys[i], len(cfg.Shards))
 		}
 	}
 
@@ -436,22 +552,47 @@ func Run(k *sim.Kernel, cfg Config) *Result {
 				sh.Server.SetTracer(cfg.Tracer)
 				tap(sh.Server.Endpoint().Node.Stack)
 			}
+			if sh.Backup != nil {
+				sh.Backup.SetTracer(cfg.Tracer)
+				tap(sh.Backup.Endpoint().Node.Stack)
+			}
 		}
 	}
 
-	// One pipelined connection per (client, shard).
+	// One pipelined connection per (client, shard) — plus, with
+	// replication on, one per (client, keyspace) to the backup store,
+	// dialed eagerly so failover never pays a handshake mid-outage.
 	b.conns = make([][]*shardConn, len(cfg.Clients))
+	if b.repl != nil {
+		b.bconns = make([][]*shardConn, len(cfg.Clients))
+	}
 	for ci, cl := range cfg.Clients {
 		b.conns[ci] = make([]*shardConn, len(cfg.Shards))
 		for si := range cfg.Shards {
 			sc := &shardConn{
-				b: b, shard: si, client: cl,
+				b: b, shard: si, admitShard: si, client: cl,
+				addr: cfg.Shards[si].Addr, port: cfg.Shards[si].Port,
 				q:        sim.NewQueue[*request](k, 0),
 				inflight: k.NewResource(cfg.Inflight),
 				setVal:   val,
 			}
 			b.conns[ci][si] = sc
 			k.Go(fmt.Sprintf("serve/c%d/s%d", ci, si), sc.run)
+		}
+		if b.repl != nil {
+			b.bconns[ci] = make([]*shardConn, len(cfg.Shards))
+			for si := range cfg.Shards {
+				h := (si + 1) % len(cfg.Shards)
+				sc := &shardConn{
+					b: b, shard: si, admitShard: h, backup: true, client: cl,
+					addr: cfg.Shards[h].Addr, port: cfg.Shards[si].Backup.Port(),
+					q:        sim.NewQueue[*request](k, 0),
+					inflight: k.NewResource(cfg.Inflight),
+					setVal:   val,
+				}
+				b.bconns[ci][si] = sc
+				k.Go(fmt.Sprintf("serve/c%d/b%d", ci, si), sc.run)
+			}
 		}
 	}
 
@@ -512,8 +653,8 @@ func (b *bench) openLoop(p *sim.Proc, ci int, gen *generator, arr rng, rate floa
 		if now >= b.measEnd {
 			return
 		}
-		op, key := gen.next()
-		req := &request{op: op, key: key, arrival: now}
+		op, key, sync := gen.next()
+		req := &request{op: op, key: key, sync: sync, arrival: now}
 		if smp.Next() {
 			req.span = b.cfg.Tracer.Start(now, ci, op)
 		}
@@ -529,8 +670,8 @@ func (b *bench) closedWorker(p *sim.Proc, ci int, gen *generator, smp *obs.Sampl
 		if now >= b.measEnd {
 			return
 		}
-		op, key := gen.next()
-		req := &request{op: op, key: key, arrival: now, done: b.k.NewSignal()}
+		op, key, sync := gen.next()
+		req := &request{op: op, key: key, sync: sync, arrival: now, done: b.k.NewSignal()}
 		if smp.Next() {
 			req.span = b.cfg.Tracer.Start(now, ci, op)
 		}
@@ -546,11 +687,43 @@ func (b *bench) closedWorker(p *sim.Proc, ci int, gen *generator, smp *obs.Sampl
 }
 
 // enqueue routes one request through admission control (when enabled) to a
-// shard connection. It reports false when the request was shed — every
-// candidate shard's breaker was open.
+// shard connection. With replication on a request whose primary is not
+// admitted fails over to the keyspace's backup store — same keys, served
+// from the surviving replica — instead of being re-routed to a ring
+// neighbor that never held them. It reports false when the request was
+// shed — no replica (or, without replication, no candidate shard)
+// admitted it.
 func (b *bench) enqueue(p *sim.Proc, ci int, req *request) bool {
 	req.shard = b.keyShard[req.key]
-	if b.ctrl != nil {
+	inWindow := req.arrival >= b.measStart && req.arrival < b.measEnd
+	if b.repl != nil {
+		if !b.ctrl.Allow(req.shard) {
+			backupHost := (req.shard + 1) % len(b.cfg.Shards)
+			// State, unlike Allow, mutates nothing: failover traffic is
+			// judged by the backup host's own (primary-traffic) breaker
+			// without consuming its probe budget.
+			if b.ctrl.State(backupHost) != admit.Closed {
+				b.ctrl.NoteShed()
+				if inWindow {
+					b.res.Shed++
+					b.res.PerShard[req.shard].Shed++
+				}
+				b.cfg.Tracer.Abort(req.span)
+				return false
+			}
+			req.failover = true
+			if inWindow {
+				b.res.FailedOver++
+				b.res.PerShard[req.shard].FailedOver++
+			}
+			if req.span != nil {
+				req.span.FailedOver = true
+			}
+			if req.op == opGet {
+				b.repl.NoteFailoverRead(req.shard, b.keys[req.key])
+			}
+		}
+	} else if b.ctrl != nil {
 		target := -1
 		if b.ctrl.Allow(req.shard) {
 			target = req.shard
@@ -562,7 +735,6 @@ func (b *bench) enqueue(p *sim.Proc, ci int, req *request) bool {
 				}
 			}
 		}
-		inWindow := req.arrival >= b.measStart && req.arrival < b.measEnd
 		if target < 0 {
 			b.ctrl.NoteShed()
 			if inWindow {
@@ -588,10 +760,15 @@ func (b *bench) enqueue(p *sim.Proc, ci int, req *request) bool {
 	if req.span != nil {
 		req.span.Shard = req.shard
 	}
-	if req.arrival >= b.measStart && req.arrival < b.measEnd {
+	if inWindow {
 		b.res.PerShard[req.shard].Issued++
 	}
-	b.conns[ci][req.shard].q.Put(p, req)
+	b.res.PerShard[req.shard].IssuedEver++
+	if req.failover {
+		b.bconns[ci][req.shard].q.Put(p, req)
+	} else {
+		b.conns[ci][req.shard].q.Put(p, req)
+	}
 	return true
 }
 
@@ -613,8 +790,7 @@ func (sc *shardConn) reqBytes(req *request) int {
 // slots would collapse the batch size back to 1 under overload, because
 // slots free one response at a time.
 func (sc *shardConn) run(p *sim.Proc) {
-	sh := sc.b.cfg.Shards[sc.shard]
-	conn, err := sc.client.Node.Stack.Connect(p, sh.Addr, sh.Port)
+	conn, err := sc.client.Node.Stack.Connect(p, sc.addr, sc.port)
 	if err != nil {
 		sc.dead = true
 	} else {
@@ -673,13 +849,22 @@ func (sc *shardConn) run(p *sim.Proc) {
 		for _, r := range batch {
 			r.sent = now
 			if sc.b.ctrl != nil {
-				sc.b.ctrl.OnSend(sc.shard)
+				sc.b.ctrl.OnSend(sc.admitShard)
 			}
 			var val []byte
 			if r.op == opSet {
 				val = sc.setVal
 			}
-			buf = kvstore.AppendRequest(buf, r.op, sc.b.keys[r.key], val)
+			op := r.op
+			if r.failover {
+				// The backup fences the dead primary's in-flight forwards
+				// by opening a new per-key epoch on flagged writes.
+				op |= kvstore.FailoverFlag
+			}
+			if r.sync && r.op == opSet && sc.b.repl != nil {
+				op |= kvstore.SyncFlag
+			}
+			buf = kvstore.AppendRequest(buf, op, sc.b.keys[r.key], val)
 			// Every request advances the flow's FIFO sequence (the
 			// server counts them all); sampled ones also learn their
 			// last byte's stream offset for frame correlation.
@@ -728,7 +913,7 @@ func (sc *shardConn) receive(p *sim.Proc) {
 		}
 		req := sc.outstanding[0]
 		sc.outstanding = sc.outstanding[1:]
-		sc.complete(req, status == kvstore.StatusOK || status == kvstore.StatusMiss, p.Now())
+		sc.complete(req, status, p.Now())
 		// The pipeline window is counted in batches: the slot frees when
 		// the batch's last response arrives.
 		if req.eob {
@@ -738,7 +923,8 @@ func (sc *shardConn) receive(p *sim.Proc) {
 }
 
 // complete records one finished request.
-func (sc *shardConn) complete(req *request, ok bool, now sim.Time) {
+func (sc *shardConn) complete(req *request, status byte, now sim.Time) {
+	ok := status == kvstore.StatusOK || status == kvstore.StatusMiss
 	if req.span != nil {
 		inWin := req.arrival >= sc.b.measStart && req.arrival < sc.b.measEnd
 		sc.b.cfg.Tracer.Finish(req.span, now, inWin, ok)
@@ -746,19 +932,26 @@ func (sc *shardConn) complete(req *request, ok bool, now sim.Time) {
 	if sc.b.ctrl != nil {
 		// Service latency (wire to response) is the health signal: queue
 		// wait reflects client backlog, not shard responsiveness.
-		sc.b.ctrl.OnComplete(sc.shard, int64(now.Sub(req.sent)/sim.Nanosecond), ok)
+		sc.b.ctrl.OnComplete(sc.admitShard, int64(now.Sub(req.sent)/sim.Nanosecond), ok)
 	}
 	if req.done != nil {
 		req.done.Notify()
 	}
+	ss := sc.b.res.PerShard[req.shard]
+	if ok {
+		ss.DoneEver++
+	}
 	if req.arrival < sc.b.measStart || req.arrival >= sc.b.measEnd {
 		return
 	}
-	ss := sc.b.res.PerShard[req.shard]
 	if !ok {
 		ss.Errors++
 		sc.b.res.Errors++
 		return
+	}
+	if status == kvstore.StatusMiss && req.op == opGet {
+		ss.Misses++
+		sc.b.res.Misses++
 	}
 	ss.N++
 	sc.b.res.N++
@@ -774,7 +967,7 @@ func (sc *shardConn) complete(req *request, ok bool, now sim.Time) {
 // error edge for the admission plane, with nothing on the wire to pop.
 func (sc *shardConn) fail(req *request) {
 	if sc.b.ctrl != nil {
-		sc.b.ctrl.OnError(sc.shard)
+		sc.b.ctrl.OnError(sc.admitShard)
 	}
 	sc.failCommon(req)
 }
@@ -798,7 +991,7 @@ func (sc *shardConn) failCommon(req *request) {
 func (sc *shardConn) drainOutstanding() {
 	for _, req := range sc.outstanding {
 		if sc.b.ctrl != nil {
-			sc.b.ctrl.OnComplete(sc.shard, 0, false)
+			sc.b.ctrl.OnComplete(sc.admitShard, 0, false)
 		}
 		sc.failCommon(req)
 		if req.eob {
@@ -822,6 +1015,10 @@ func (b *bench) collect() {
 		b.res.AdmitCounters = b.ctrl.Counters()
 		b.res.AdmitEvents = b.ctrl.Events()
 	}
+	if b.repl != nil {
+		b.res.ReplCounters = b.repl.Counters()
+		b.res.ReplEvents = b.repl.Events()
+	}
 	b.publish()
 }
 
@@ -838,6 +1035,8 @@ func (b *bench) publish() {
 	reg.Counter("serve/unfinished").Add(b.res.Unfinished)
 	reg.Counter("serve/shed").Add(b.res.Shed)
 	reg.Counter("serve/rerouted").Add(b.res.Rerouted)
+	reg.Counter("serve/misses").Add(b.res.Misses)
+	reg.Counter("serve/failed_over").Add(b.res.FailedOver)
 	reg.RegisterHDR("serve/lat/total", &b.res.Total)
 	reg.RegisterHDR("serve/lat/queue", &b.res.Queue)
 	reg.RegisterHDR("serve/lat/batchwait", &b.res.BatchWait)
@@ -856,6 +1055,29 @@ func (b *bench) publish() {
 			reg.GaugeFunc(pre+"kv/misses", func() int64 { return srv.Misses })
 			reg.GaugeFunc(pre+"kv/bytes", srv.Bytes)
 		}
+		if b.ctrl != nil {
+			// Breaker state dwell: how long this shard has spent closed,
+			// open, and half-open so far. Snapshotted through GaugeFunc so
+			// the end-of-run registry snapshot integrates up to the final
+			// kernel time, not publish time.
+			si := si
+			apre := fmt.Sprintf("admit/shard/%d/dwell/", si)
+			reg.GaugeFunc(apre+"closed", func() int64 {
+				c, _, _ := b.ctrl.DwellTimes(si, b.k.Now())
+				return int64(c / sim.Nanosecond)
+			})
+			reg.GaugeFunc(apre+"open", func() int64 {
+				_, o, _ := b.ctrl.DwellTimes(si, b.k.Now())
+				return int64(o / sim.Nanosecond)
+			})
+			reg.GaugeFunc(apre+"half_open", func() int64 {
+				_, _, h := b.ctrl.DwellTimes(si, b.k.Now())
+				return int64(h / sim.Nanosecond)
+			})
+		}
+	}
+	if b.repl != nil {
+		b.repl.Publish(reg)
 	}
 	if t := b.cfg.Tracer; t != nil {
 		for ph := obs.Phase(0); ph < obs.NumPhases; ph++ {

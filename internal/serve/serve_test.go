@@ -147,7 +147,7 @@ func TestZipfSkewAndOpMix(t *testing.T) {
 	counts := make(map[int]int)
 	gets := 0
 	for i := 0; i < draws; i++ {
-		op, key := g.next()
+		op, key, _ := g.next()
 		if key < 0 || key >= w.Keys {
 			t.Fatalf("key index %d out of range", key)
 		}
@@ -174,8 +174,8 @@ func TestZipfSkewAndOpMix(t *testing.T) {
 	g2 := w.newGenerator(newZipfFor(w), 10, "gen/test")
 	same := true
 	for i := 0; i < 32; i++ {
-		o1, k1 := g.next()
-		o2, k2 := g2.next()
+		o1, k1, _ := g.next()
+		o2, k2, _ := g2.next()
 		if o1 != o2 || k1 != k2 {
 			same = false
 			break
@@ -192,7 +192,7 @@ func TestUniformPopularity(t *testing.T) {
 	counts := make([]int, w.Keys)
 	const draws = 100000
 	for i := 0; i < draws; i++ {
-		_, key := g.next()
+		_, key, _ := g.next()
 		counts[key]++
 	}
 	mean := draws / w.Keys

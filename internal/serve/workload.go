@@ -90,6 +90,11 @@ type Workload struct {
 	// GetFrac is the fraction of GETs; the rest are SETs (0 means the
 	// memcached-classic 0.95).
 	GetFrac float64
+	// SyncEvery marks every SyncEvery-th SET per generator as synchronous
+	// (the client waits for the backup replica's ack before the write is
+	// acknowledged). 0 disables sync writes. Only meaningful when
+	// replication is on; otherwise the flag is ignored on the wire.
+	SyncEvery int
 }
 
 // withDefaults fills zero fields.
@@ -148,9 +153,10 @@ func (z *zipf) rank(r *rng) int {
 
 // generator turns one rng stream into a deterministic request stream.
 type generator struct {
-	w Workload
-	z *zipf // shared, read-only after construction
-	r rng
+	w    Workload
+	z    *zipf // shared, read-only after construction
+	r    rng
+	sets int // SETs drawn so far, for the SyncEvery cadence
 }
 
 func (w Workload) newGenerator(z *zipf, seed uint64, name string) *generator {
@@ -167,15 +173,22 @@ func scramble(rank, n int) int {
 	return int(h % uint64(n))
 }
 
-// next draws one request: the operation and the key index.
-func (g *generator) next() (op byte, keyIdx int) {
+// next draws one request: the operation, the key index, and whether the
+// request is a synchronous write (every SyncEvery-th SET). The sync
+// cadence is a counter, not an extra RNG draw, so enabling it never
+// perturbs the arrival or key streams.
+func (g *generator) next() (op byte, keyIdx int, sync bool) {
 	if g.w.Popularity == Uniform {
 		keyIdx = int(g.r.next() % uint64(g.w.Keys))
 	} else {
 		keyIdx = scramble(g.z.rank(&g.r), g.w.Keys)
 	}
 	if g.r.float64() < g.w.GetFrac {
-		return opGet, keyIdx
+		return opGet, keyIdx, false
 	}
-	return opSet, keyIdx
+	g.sets++
+	if g.w.SyncEvery > 0 && g.sets%g.w.SyncEvery == 0 {
+		sync = true
+	}
+	return opSet, keyIdx, sync
 }

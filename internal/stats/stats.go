@@ -412,6 +412,58 @@ func (e HealthEvent) String() string {
 	return fmt.Sprintf("[%v] shard %d %s %s->%s (%s)", e.T, e.Shard, e.Name, e.From, e.To, e.Reason)
 }
 
+// ReplCounters tallies one run's replication activity: the primary→backup
+// forward stream, sync-write outcomes, and the anti-entropy catch-up
+// traffic. The replication machinery lives in internal/replica; the
+// counter block lives here so serving telemetry and determinism tests
+// compare replication activity in one shape, the way AdmitCounters does
+// for the breakers.
+type ReplCounters struct {
+	Forwards int64 // records queued for primary->backup forwarding
+	Acks     int64 // forwards acknowledged by the backup store
+	Dropped  int64 // forwards dropped from a full window (healed by anti-entropy)
+	DownSkip int64 // forwards skipped because the backup host was not admitted
+	// MaxPending is the high-water mark of any pair's forward queue —
+	// the measured bound on async staleness (in records).
+	MaxPending int64
+	SyncAcks     int64 // sync writes acknowledged by the backup before the deadline
+	SyncDegraded int64 // sync writes locally acked because the backup was not admitted
+	SyncFailed   int64 // sync writes that timed out with the backup admitted
+	Reconnects   int64 // forward-connection redials
+	CatchupPulls int64 // anti-entropy delta requests issued
+	CatchupRecs  int64 // delta records applied during catch-up
+	StaleReads   int64 // failover reads of keys with a forward still pending
+	FailoverReads int64 // reads served by a backup store
+}
+
+// String renders the counters compactly.
+func (r *ReplCounters) String() string {
+	return fmt.Sprintf("fwd=%d ack=%d drop=%d downskip=%d maxpend=%d sync(ack=%d degraded=%d failed=%d) reconn=%d pulls=%d recs=%d failover=%d stale=%d",
+		r.Forwards, r.Acks, r.Dropped, r.DownSkip, r.MaxPending,
+		r.SyncAcks, r.SyncDegraded, r.SyncFailed, r.Reconnects,
+		r.CatchupPulls, r.CatchupRecs, r.FailoverReads, r.StaleReads)
+}
+
+// ReplEvent is one replication-plane transition — a catch-up starting,
+// a shard readmitted after convergence, a forward stream flushed. The
+// ordered list is the replication timeline a replay must reproduce
+// byte-for-byte, mirroring HealthEvent for the breakers.
+type ReplEvent struct {
+	Pair   int // keyspace (primary shard) index
+	Name   string
+	T      sim.Time
+	What   string
+	Detail string
+}
+
+// String renders one transition.
+func (e ReplEvent) String() string {
+	if e.Detail == "" {
+		return fmt.Sprintf("[%v] pair %d %s %s", e.T, e.Pair, e.Name, e.What)
+	}
+	return fmt.Sprintf("[%v] pair %d %s %s (%s)", e.T, e.Pair, e.Name, e.What, e.Detail)
+}
+
 // BusyMeter accumulates intervals during which a component was active.
 // Overlapping Busy calls are additive (two cores busy for 1s = 2s busy
 // time), which is what energy integration wants.

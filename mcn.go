@@ -38,6 +38,7 @@ import (
 	"github.com/mcn-arch/mcn/internal/mpi"
 	"github.com/mcn-arch/mcn/internal/netstack"
 	"github.com/mcn-arch/mcn/internal/node"
+	"github.com/mcn-arch/mcn/internal/replica"
 	"github.com/mcn-arch/mcn/internal/obs"
 	"github.com/mcn-arch/mcn/internal/npb"
 	"github.com/mcn-arch/mcn/internal/serve"
@@ -339,6 +340,8 @@ type (
 	// ServeCurveResult is the latency-vs-throughput sweep across
 	// topologies.
 	ServeCurveResult = exp.ServeCurveResult
+	// ServeTopoCurve is one topology's slice of the sweep.
+	ServeTopoCurve = exp.ServeTopoCurve
 	// ServeFaultsResult is the serving run with a DIMM flap mid-window.
 	ServeFaultsResult = exp.ServeFaultsResult
 	// ServeBatchResult is the batching off/on A/B on the mcn5 fabric.
@@ -346,7 +349,33 @@ type (
 	// ServeAdmitResult is the admission-control off/reroute/shed A/B/B'
 	// under a DIMM flap.
 	ServeAdmitResult = exp.ServeAdmitResult
+	// ServeReplResult is the replication off/on A/B under a DIMM flap.
+	ServeReplResult = exp.ServeReplResult
 )
+
+// Replication: R=2 primary/backup pairs across the DIMM shards with
+// breaker-driven failover and versioned anti-entropy catch-up
+// (internal/replica).
+type (
+	// ReplConfig tunes the replication plane; the zero value disables it.
+	ReplConfig = replica.Config
+	// ReplManager owns the forward queues and catch-up procs of every
+	// primary/backup pair.
+	ReplManager = replica.Manager
+	// ReplCounters is the whole-run replication tally.
+	ReplCounters = stats.ReplCounters
+	// ReplEvent is one failover/catch-up transition in the replication
+	// timeline.
+	ReplEvent = stats.ReplEvent
+)
+
+// ReplDiverged counts keys whose primary and backup replicas disagree
+// (missing or version-mismatched); 0 means the pair is converged.
+func ReplDiverged(primary, backup *KVServer) int { return replica.Diverged(primary, backup) }
+
+// DefaultServeRepl is the replication configuration the "+repl" serving
+// topologies use (internal/replica defaults; implies admission control).
+var DefaultServeRepl = exp.DefaultServeRepl
 
 // Admission control: per-shard health tracking and circuit breakers
 // between the serving tier's load drivers and its shard router.
@@ -432,6 +461,17 @@ func ServeFaultsAdmitted(seed uint64) *ServeFaultsResult { return exp.ServeFault
 // the re-route policy, and the shed policy on the mcn5+batch fabric; the
 // headline compares the fault-window p99s.
 func ServeAdmit(seed uint64) *ServeAdmitResult { return exp.ServeAdmit(seed) }
+
+// ServeFaultsRepl is ServeFaultsAdmitted with the replication plane on:
+// the flapped shard's keys keep serving from the backup replica, sync
+// writes stay durable, and the recovered primary catches up via the
+// versioned delta stream before its breaker readmits it.
+func ServeFaultsRepl(seed uint64) *ServeFaultsResult { return exp.ServeFaultsRepl(seed) }
+
+// ServeRepl runs the DIMM-flap serving experiment with replication off
+// and on; the headline compares flap-window misses, failover reads and
+// post-run replica convergence.
+func ServeRepl(seed uint64) *ServeReplResult { return exp.ServeRepl(seed) }
 
 // Observability: end-to-end request spans, the unified metrics registry
 // and the Perfetto/Chrome trace export (internal/obs).

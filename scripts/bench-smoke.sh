@@ -19,6 +19,12 @@ go run ./cmd/mcn-serve -curve -rates 200000,800000 -seed "$SEED" -check BENCH_se
 echo ">> mcn-serve -topo mcn5+batch+admit -rate 200000 -seed $SEED -json"
 go run ./cmd/mcn-serve -topo mcn5+batch+admit -rate 200000 -seed "$SEED" -json -out /tmp/mcn-smoke-plain.json
 
+# Replicated-flap drift guard: re-run the replication A/B at the artifact
+# seed and fail if the availability or convergence numbers drift from the
+# committed BENCH_serve.json.
+echo ">> mcn-serve -replcheck BENCH_serve.json -seed $SEED"
+go run ./cmd/mcn-serve -replcheck BENCH_serve.json -seed "$SEED"
+
 # Trace-overhead guard: the same point with the observability plane on
 # must report byte-identical telemetry (tracing charges no simulated
 # time), and the Perfetto/metrics artifacts must be written and non-empty.

@@ -12,12 +12,12 @@ go build ./...
 echo ">> go vet ./..."
 go vet ./...
 
-# Targeted race gate on the serving tier, its admission plane and the
-# observability plane first: these packages carry the concurrency-heavy
-# breaker/loadgen/tracer interplay, so a race there fails fast before
-# the full suite spins up.
-echo ">> go test -race ./internal/admit ./internal/serve ./internal/obs"
-go test -race ./internal/admit ./internal/serve ./internal/obs
+# Targeted race gate on the serving tier, its admission plane, the
+# replication plane and the observability plane first: these packages
+# carry the concurrency-heavy breaker/loadgen/forwarder/tracer interplay,
+# so a race there fails fast before the full suite spins up.
+echo ">> go test -race ./internal/admit ./internal/serve ./internal/replica ./internal/obs"
+go test -race ./internal/admit ./internal/serve ./internal/replica ./internal/obs
 
 echo ">> go test -race $* ./..."
 go test -race "$@" ./...

@@ -43,6 +43,7 @@ BEGIN {
     f[pre "/internal/node"] = 81
     f[pre "/internal/npb"] = 94
     f[pre "/internal/obs"] = 85
+    f[pre "/internal/replica"] = 85
     f[pre "/internal/serve"] = 81
     f[pre "/internal/sim"] = 92
     f[pre "/internal/sram"] = 88
