@@ -257,6 +257,41 @@ func TestBatchedServeFaultReplayDeterminism(t *testing.T) {
 	}
 }
 
+// TestMcntFaultReplayDeterminism is the mcnt chaos gate: a whole-DIMM
+// flap mid-window on the mcnt-transported serving tier must recover
+// through the transport's own go-back-N window (resends > 0 proves the
+// path was exercised), leave zero credit-accounting drift after the
+// post-run quiesce (every byte the flap ate was resent, every grant
+// reconverged, the window fully reopened), and the entire run — latency
+// quantiles, per-shard telemetry, fabric frame/credit counters — must
+// replay byte-identically per seed and differ across seeds.
+func TestMcntFaultReplayDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mcnt fault-replay run skipped in -short mode")
+	}
+	a := mcn.ServeFaultsMcnt(77)
+	if !a.Mcnt {
+		t.Fatal("run does not report the mcnt transport")
+	}
+	if len(a.Degraded) == 0 {
+		t.Fatal("DIMM flap degraded no shard; fault injection looks inert")
+	}
+	if len(a.McntDrift) != 0 {
+		t.Fatalf("credit accounting did not reconverge after the flap:\n%s", a)
+	}
+	if !strings.Contains(a.McntFabric, "resent=") || strings.Contains(a.McntFabric, "resent=0 ") {
+		t.Fatalf("flap recovered without a single mcnt resend — go-back-N never engaged: %s", a.McntFabric)
+	}
+	b := mcn.ServeFaultsMcnt(77)
+	if as, bs := a.String(), b.String(); as != bs {
+		t.Fatalf("same seed, different mcnt fault replay:\n--- run A ---\n%s\n--- run B ---\n%s", as, bs)
+	}
+	c := mcn.ServeFaultsMcnt(78)
+	if c.String() == a.String() {
+		t.Fatal("different seed replayed the identical mcnt result; injection looks seed-independent")
+	}
+}
+
 // TestReplicatedFaultReplayDeterminism is the replication chaos gate: a
 // whole-DIMM flap mid-window on the replicated serving tier must cost no
 // availability — reads fail over to the backup replica (no misses, no

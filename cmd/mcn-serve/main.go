@@ -133,7 +133,7 @@ type benchPointJSON struct {
 
 func main() {
 	seed := flag.Uint64("seed", 42, "random seed; the same seed replays bit-identically")
-	topo := flag.String("topo", "mcn5", "serving topology: mcn0, mcn5, 10gbe, scaleup, or any with +batch (request batching), +admit (admission control) and/or +repl (primary/backup replication, implies +admit) suffixes")
+	topo := flag.String("topo", "mcn5", "serving topology: mcn0, mcn5, 10gbe, scaleup, or any with +batch (request batching), +admit (admission control), +repl (primary/backup replication, implies +admit) and/or +mcnt (MCN-native transport on memory-channel hops) suffixes")
 	rate := flag.Float64("rate", 400e3, "open-loop offered load, requests/sec")
 	workers := flag.Int("closed", 0, "closed-loop worker count (overrides -rate)")
 	curve := flag.Bool("curve", false, "sweep the full latency-vs-load curve over every topology")
@@ -347,6 +347,32 @@ func checkCurve(path string, r *mcn.ServeCurveResult) {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "-check: replicated knee %.0f within 5%% of batched knee %.0f\n", kr, kb)
+	}
+	// mcnt transport guard: swapping the memory-channel hops from TCP to
+	// the credit-based transport must move the batched knee decisively —
+	// at least 15% past the TCP curve's interpolated knee (~2.39M on the
+	// recorded ladder). A smaller gap means the per-segment stack cost
+	// crept back into the mcnt path. The guard only fires when the TCP
+	// curve actually reaches its knee within the swept ladder — on a
+	// truncated smoke ladder both curves top out at the same rung and the
+	// comparison is meaningless.
+	if bm, bb := r.Curve("mcn5+batch+mcnt"), r.Curve("mcn5+batch"); bm != nil && bb != nil {
+		crossed := false
+		for _, p := range bb.Points {
+			if !p.Healthy() || p.Summary.P99 > r.SLONs {
+				crossed = true
+			}
+		}
+		km, kb := kneeQps(bm, r.SLONs), kneeQps(bb, r.SLONs)
+		switch {
+		case !crossed:
+			fmt.Fprintf(os.Stderr, "-check: ladder too short to reach the batched TCP knee; mcnt knee guard skipped\n")
+		case kb > 0 && km < 1.15*kb:
+			fmt.Fprintf(os.Stderr, "-check: mcnt knee %.0f not >15%% past batched TCP knee %.0f\n", km, kb)
+			os.Exit(1)
+		default:
+			fmt.Fprintf(os.Stderr, "-check: mcnt knee %.0f clears batched TCP knee %.0f by %.0f%%\n", km, kb, 100*(km-kb)/kb)
+		}
 	}
 	fmt.Fprintf(os.Stderr, "-check: %d points match %s\n", checked, path)
 }

@@ -21,6 +21,31 @@ import (
 type Endpoint struct {
 	Node *node.Node
 	IP   netstack.IP
+	// Transport selects how connections from/to this endpoint are
+	// opened. nil means the node's TCP stack; mcn topologies install
+	// the MCN-native mcnt transport here so memory-channel hops skip
+	// TCP while off-fabric destinations still fall back to it.
+	Transport netstack.Transport
+}
+
+// transport resolves the endpoint's effective transport.
+func (e Endpoint) transport() netstack.Transport {
+	if e.Transport != nil {
+		return e.Transport
+	}
+	return e.Node.Stack
+}
+
+// DialConn opens a connection to dst:port over the endpoint's
+// transport.
+func (e Endpoint) DialConn(p *sim.Proc, dst netstack.IP, port uint16) (netstack.Conn, error) {
+	return e.transport().DialConn(p, dst, port)
+}
+
+// ListenConn starts accepting connections on port over the endpoint's
+// transport.
+func (e Endpoint) ListenConn(port uint16) (netstack.Acceptor, error) {
+	return e.transport().ListenConn(port)
 }
 
 // McnServer is one host with N MCN DIMMs.

@@ -18,6 +18,9 @@ type ServeTraceResult struct {
 	Result   *serve.Result
 	Tracer   *obs.Tracer
 	Snapshot *obs.Snapshot
+	// McntFabric is the mcnt fabric's traffic summary when the topology
+	// carried a "+mcnt" suffix; empty otherwise.
+	McntFabric string
 }
 
 // ServeTraced runs one serving point with the observability plane on:
@@ -48,9 +51,9 @@ func ServeTracedFaults(seed uint64, topo string, rate float64, sampleN int) *Ser
 
 func serveTraced(seed uint64, topo string, rate float64, closedWorkers, sampleN int,
 	plan func(*sim.Kernel, *serve.Config) *faults.Plan) *ServeTraceResult {
-	fabric, batched, admitted, replicated := parseServeTopo(topo)
+	fabric, batched, admitted, replicated, mcntOn := parseServeTopo(topo)
 	k := sim.NewKernel()
-	shards, clients, inject, observe := buildServeTopo(k, fabric)
+	shards, clients, inject, observe, fab := buildServeTopo(k, fabric, mcntOn)
 	cfg := serveConfig(seed, rate)
 	cfg.Shards, cfg.Clients = shards, clients
 	if batched {
@@ -80,15 +83,21 @@ func serveTraced(seed uint64, topo string, rate float64, closedWorkers, sampleN 
 	cfg.Tracer, cfg.Metrics = tr, reg
 	res := serve.Run(k, cfg)
 	snap := reg.Snapshot(k.Now())
+	out := &ServeTraceResult{Topo: topo, Result: res, Tracer: tr, Snapshot: snap}
+	if fab != nil {
+		out.McntFabric = fab.String()
+	}
 	k.Shutdown()
-	return &ServeTraceResult{Topo: topo, Result: res, Tracer: tr, Snapshot: snap}
+	return out
 }
 
 // ServeAttribTopos is the configuration ladder of the attribution table:
-// the unoptimized MCN server, the fully optimized one, and the optimized
-// one with batching and with batching+admission — the software-stack
-// walk the serving PRs took, now explained phase by phase.
-var ServeAttribTopos = []string{"mcn0", "mcn5", "mcn5+batch", "mcn5+batch+admit"}
+// the unoptimized MCN server, the fully optimized one, the optimized
+// one with batching and with batching+admission, and finally the batched
+// fabric with the mcnt transport replacing TCP on the memory-channel
+// hops — the software-stack walk the serving PRs took, now explained
+// phase by phase.
+var ServeAttribTopos = []string{"mcn0", "mcn5", "mcn5+batch", "mcn5+batch+admit", "mcn5+batch+mcnt"}
 
 // ServeAttribRate is the offered load of the attribution runs: 200k req/s
 // sits well under every configuration's knee, so the table attributes the

@@ -113,6 +113,60 @@ func TestServeTracedFaultReplayDeterminism(t *testing.T) {
 	}
 }
 
+// TestServeTracedMcntPhaseSum: the correlator must keep its exact
+// telescoping guarantee when the shard connections ride the mcnt
+// transport — every span's phases sum exactly to its end-to-end
+// latency, and the full MCN boundary set (host TX, channel push/pop,
+// DIMM delivery, server mark) is stamped from mcnt frames rather than
+// TCP segments.
+func TestServeTracedMcntPhaseSum(t *testing.T) {
+	r := ServeTraced(42, "mcn5+batch+mcnt", 200e3, 0, 1)
+	tr := r.Tracer
+	if tr.Finished == 0 {
+		t.Fatal("no spans finished")
+	}
+	if r.McntFabric == "" {
+		t.Fatal("no mcnt fabric summary — transport not installed?")
+	}
+	stamped, inWin := 0, 0
+	for _, sp := range tr.Spans() {
+		b := sp.Breakdown()
+		var sum int64
+		for _, d := range b {
+			if d < 0 {
+				t.Fatalf("span %d: negative phase duration %v", sp.ID, d)
+			}
+			sum += int64(d)
+		}
+		if want := int64(sp.Done.Sub(sp.Arrival)); sum != want {
+			t.Fatalf("span %d: phases sum to %d, end-to-end is %d", sp.ID, sum, want)
+		}
+		if sp.InWindow && !sp.Err {
+			inWin++
+			if sp.HostTx != 0 && sp.ChanPush != 0 && sp.DimmPop != 0 && sp.DimmRx != 0 && sp.Served != 0 {
+				stamped++
+			}
+		}
+	}
+	if inWin == 0 || stamped < inWin*99/100 {
+		t.Fatalf("only %d/%d in-window spans fully stamped over mcnt", stamped, inWin)
+	}
+	if tr.Total.N() != r.Result.N {
+		t.Fatalf("tracer aggregated %d spans, telemetry %d", tr.Total.N(), r.Result.N)
+	}
+}
+
+// TestServeTracedMcntZeroPerturbation: the zero-perturbation guarantee
+// extends to the mcnt transport — the frame tap observes, never charges
+// time, so the traced run's telemetry is identical to the untraced one.
+func TestServeTracedMcntZeroPerturbation(t *testing.T) {
+	traced := ServeTraced(42, "mcn5+batch+mcnt", 200e3, 0, 8)
+	plain := ServeOnce(42, "mcn5+batch+mcnt", 200e3, 0)
+	if traced.Result.Summary() != plain.Summary() {
+		t.Fatalf("traced mcnt run diverged:\n traced %v\n plain  %v", traced.Result.Summary(), plain.Summary())
+	}
+}
+
 // TestServeAttrib: the paper-style table renders one column per
 // configuration with phases summing to the total row.
 func TestServeAttrib(t *testing.T) {

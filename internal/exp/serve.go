@@ -9,6 +9,7 @@ import (
 	"github.com/mcn-arch/mcn/internal/core"
 	"github.com/mcn-arch/mcn/internal/faults"
 	"github.com/mcn-arch/mcn/internal/kvstore"
+	"github.com/mcn-arch/mcn/internal/mcnt"
 	"github.com/mcn-arch/mcn/internal/netstack"
 	"github.com/mcn-arch/mcn/internal/obs"
 	"github.com/mcn-arch/mcn/internal/replica"
@@ -28,6 +29,13 @@ const ServeShards = 8
 // knee (~1.4M) so the batched configurations can show theirs.
 var DefaultServeRates = []float64{100e3, 200e3, 400e3, 800e3, 1.2e6, 1.4e6, 1.6e6, 2e6, 2.4e6}
 
+// McntServeRates extends the default ladder for "+mcnt" topologies: with
+// the per-segment TCP/IP costs gone from the memory-channel hops, the
+// knee sits past the TCP ladder's top rung, so the sweep needs higher
+// rungs to find it. The shared prefix keeps the curves point-for-point
+// comparable with the recorded TCP baselines.
+var McntServeRates = append(append([]float64(nil), DefaultServeRates...), 2.8e6, 3.2e6)
+
 // DefaultServeSLONs is the p99 service-level objective (ns) used for the
 // qps-at-SLO headline. 40us sits well above every topology's unloaded
 // p99 and well below the saturated tails, so the headline measures where
@@ -40,8 +48,10 @@ const DefaultServeSLONs = 40e3 // 40us
 // admission-control plane (DefaultServeAdmit); a "+repl" suffix adds
 // primary/backup replication across the DIMM shards (DefaultServeRepl,
 // which implies admission control — the breaker is the failover signal).
-// Suffixes compose in any order.
-var ServeTopos = []string{"mcn0", "mcn5", "mcn0+batch", "mcn5+batch", "mcn5+batch+admit", "mcn5+batch+repl", "10gbe", "scaleup"}
+// Suffixes compose in any order. A "+mcnt" suffix swaps the
+// memory-channel hops from TCP to the MCN-native mcnt transport
+// (internal/mcnt) — only meaningful on MCN fabrics.
+var ServeTopos = []string{"mcn0", "mcn5", "mcn0+batch", "mcn5+batch", "mcn5+batch+admit", "mcn5+batch+repl", "mcn5+batch+mcnt", "10gbe", "scaleup"}
 
 // DefaultServeBatch is the coalescing bound the "+batch" topologies use:
 // flush at 16 requests, 8KB, or 2us after the first dequeue — whichever
@@ -130,9 +140,13 @@ func serveConfig(seed uint64, rate float64) serve.Config {
 // buildServeTopo constructs the named topology on k and returns the shard
 // and client sides. Every topology exposes ServeShards kvstore shards.
 // observe wires the fabric's driver-level observation points (the MCN
-// SRAM channel taps) into a tracer; it is a no-op on fabrics without an
-// MCN channel (serve.Run wires the stack and kvstore taps itself).
-func buildServeTopo(k *sim.Kernel, topo string) (shards []serve.Shard, clients []cluster.Endpoint, inject func(*faults.Injector), observe func(*obs.Tracer)) {
+// SRAM channel taps, and the mcnt frame tap when the transport is on)
+// into a tracer; it is a no-op on fabrics without an MCN channel
+// (serve.Run wires the stack and kvstore taps itself). useMcnt attaches
+// the mcnt fabric and installs it as every endpoint's transport, so the
+// shard connections ride the credit-based protocol instead of TCP; fab
+// is then the attached fabric (nil otherwise).
+func buildServeTopo(k *sim.Kernel, topo string, useMcnt bool) (shards []serve.Shard, clients []cluster.Endpoint, inject func(*faults.Injector), observe func(*obs.Tracer), fab *mcnt.Fabric) {
 	observe = func(*obs.Tracer) {}
 	switch topo {
 	case "mcn0", "mcn5":
@@ -141,17 +155,30 @@ func buildServeTopo(k *sim.Kernel, topo string) (shards []serve.Shard, clients [
 			opts = core.MCN5.Options()
 		}
 		s := cluster.NewMcnServer(k, ServeShards, opts)
+		if useMcnt {
+			fab = mcnt.Attach(k, s.Host, mcnt.DefaultParams())
+		}
 		for _, m := range s.Mcns {
 			ep := cluster.Endpoint{Node: m.Node, IP: m.IP}
+			if fab != nil {
+				ep.Transport = fab.TransportFor(m.Node)
+			}
 			srv := kvstore.NewServer(k, ep, 11211)
 			shards = append(shards, serve.Shard{Name: m.Node.Name, Addr: m.IP, Port: 11211, Server: srv})
 		}
-		clients = []cluster.Endpoint{{Node: s.Host.Node, IP: s.Host.HostMcnIP()}}
+		cl := cluster.Endpoint{Node: s.Host.Node, IP: s.Host.HostMcnIP()}
+		if fab != nil {
+			cl.Transport = fab.TransportFor(s.Host.Node)
+		}
+		clients = []cluster.Endpoint{cl}
 		inject = s.InjectFaults
 		observe = func(t *obs.Tracer) {
 			s.Host.Driver.ChanTap = t
 			for _, m := range s.Mcns {
 				m.Drv.ChanTap = t
+			}
+			if fab != nil {
+				fab.SetTap(t)
 			}
 		}
 	case "10gbe":
@@ -178,13 +205,16 @@ func buildServeTopo(k *sim.Kernel, topo string) (shards []serve.Shard, clients [
 	default:
 		panic(fmt.Sprintf("exp: unknown serve topology %q", topo))
 	}
-	return shards, clients, inject, observe
+	if useMcnt && fab == nil {
+		panic(fmt.Sprintf("exp: topology %q has no MCN fabric for +mcnt", topo))
+	}
+	return shards, clients, inject, observe, fab
 }
 
-// parseServeTopo strips the composable "+batch"/"+admit"/"+repl"
+// parseServeTopo strips the composable "+batch"/"+admit"/"+repl"/"+mcnt"
 // suffixes off a topology name, in any order, returning the bare fabric
 // and the flags.
-func parseServeTopo(topo string) (fabric string, batched, admitted, replicated bool) {
+func parseServeTopo(topo string) (fabric string, batched, admitted, replicated, mcntOn bool) {
 	fabric = topo
 	for {
 		if f, ok := strings.CutSuffix(fabric, "+batch"); ok {
@@ -199,7 +229,11 @@ func parseServeTopo(topo string) (fabric string, batched, admitted, replicated b
 			fabric, replicated = f, true
 			continue
 		}
-		return fabric, batched, admitted, replicated
+		if f, ok := strings.CutSuffix(fabric, "+mcnt"); ok {
+			fabric, mcntOn = f, true
+			continue
+		}
+		return fabric, batched, admitted, replicated, mcntOn
 	}
 }
 
@@ -209,9 +243,9 @@ func parseServeTopo(topo string) (fabric string, batched, admitted, replicated b
 // "+admit") on the fabric the remainder names; suffixes compose in any
 // order ("mcn5+batch+admit" == "mcn5+admit+batch").
 func runServe(seed uint64, topo string, rate float64, plan *faults.Plan, mutate func(*serve.Config)) *serve.Result {
-	fabric, batched, admitted, replicated := parseServeTopo(topo)
+	fabric, batched, admitted, replicated, mcntOn := parseServeTopo(topo)
 	k := sim.NewKernel()
-	shards, clients, inject, observe := buildServeTopo(k, fabric)
+	shards, clients, inject, observe, _ := buildServeTopo(k, fabric, mcntOn)
 	_ = observe
 	if plan != nil {
 		inject(faults.New(k, *plan))
@@ -257,13 +291,20 @@ func ServeOnce(seed uint64, topo string, rate float64, closedWorkers int) *serve
 // the single scale-up box. Same seed, same curves — every random stream is
 // derived from it.
 func ServeCurve(seed uint64, rates []float64) *ServeCurveResult {
-	if rates == nil {
-		rates = DefaultServeRates
-	}
 	res := &ServeCurveResult{Seed: seed, SLONs: DefaultServeSLONs}
 	for _, topo := range ServeTopos {
+		topoRates := rates
+		if topoRates == nil {
+			// Default ladder per topology: "+mcnt" sweeps the extended
+			// ladder (its knee sits past the TCP rungs) while everything
+			// else keeps the recorded baseline ladder point-for-point.
+			topoRates = DefaultServeRates
+			if _, _, _, _, mcntOn := parseServeTopo(topo); mcntOn {
+				topoRates = McntServeRates
+			}
+		}
 		curve := ServeTopoCurve{Topo: topo}
-		for _, rate := range rates {
+		for _, rate := range topoRates {
 			r := runServe(seed, topo, rate, nil, nil)
 			curve.Points = append(curve.Points, ServePoint{
 				OfferedQPS: rate,
@@ -312,6 +353,7 @@ type ServeFaultsResult struct {
 	Batched    bool
 	Admitted   bool
 	Repl       bool
+	Mcnt       bool
 	FlapDimm   string
 	FlapStart  sim.Time
 	FlapEnd    sim.Time
@@ -322,6 +364,12 @@ type ServeFaultsResult struct {
 	// post-run drain and final anti-entropy sweep; a replicated run must
 	// end at 0 (every surviving write landed on both replicas).
 	Diverged int
+	// McntDrift is the mcnt fabric's credit/window accounting audit after
+	// the post-run quiesce (empty = zero drift: every frame the flap ate
+	// was resent, every grant reconverged); McntFabric is the fabric's
+	// traffic summary. Both are empty when the run used TCP.
+	McntDrift  []string
+	McntFabric string
 }
 
 // ServeFaults runs the mcn5 serving topology with one DIMM flapping
@@ -330,14 +378,14 @@ type ServeFaultsResult struct {
 // degraded — errors, unfinished requests, or a collapsed tail — while the
 // other shards keep serving.
 func ServeFaults(seed uint64) *ServeFaultsResult {
-	return serveFaults(seed, false, admit.Config{}, replica.Config{})
+	return serveFaults(seed, false, admit.Config{}, replica.Config{}, false)
 }
 
 // ServeFaultsBatched is ServeFaults with request batching on the shard
 // connections — the determinism and degradation story must hold with the
 // coalescing window in the path.
 func ServeFaultsBatched(seed uint64) *ServeFaultsResult {
-	return serveFaults(seed, true, admit.Config{}, replica.Config{})
+	return serveFaults(seed, true, admit.Config{}, replica.Config{}, false)
 }
 
 // ServeFaultsAdmitted is ServeFaultsBatched with the admission-control
@@ -345,7 +393,7 @@ func ServeFaultsBatched(seed uint64) *ServeFaultsResult {
 // opens, traffic re-routes to the next vnode owners, and the breaker
 // event trace replays byte-identically from the seed.
 func ServeFaultsAdmitted(seed uint64) *ServeFaultsResult {
-	return serveFaults(seed, true, DefaultServeAdmit, replica.Config{})
+	return serveFaults(seed, true, DefaultServeAdmit, replica.Config{}, false)
 }
 
 // ServeFaultsRepl is ServeFaultsAdmitted with the replication plane on:
@@ -353,10 +401,19 @@ func ServeFaultsAdmitted(seed uint64) *ServeFaultsResult {
 // 8th SET is synchronous, and after the run the primaries and backups are
 // driven to convergence and diffed (Diverged must be 0).
 func ServeFaultsRepl(seed uint64) *ServeFaultsResult {
-	return serveFaults(seed, true, DefaultServeAdmit, DefaultServeRepl)
+	return serveFaults(seed, true, DefaultServeAdmit, DefaultServeRepl, false)
 }
 
-func serveFaults(seed uint64, batched bool, admitCfg admit.Config, replCfg replica.Config) *ServeFaultsResult {
+// ServeFaultsMcnt is ServeFaultsBatched with the shard connections on
+// the mcnt transport: the flap eats mcnt frames instead of TCP
+// segments, recovery rides the go-back-N resend window instead of the
+// RTO, and after the run quiesces the fabric's credit accounting must
+// show zero drift (McntDrift empty).
+func ServeFaultsMcnt(seed uint64) *ServeFaultsResult {
+	return serveFaults(seed, true, admit.Config{}, replica.Config{}, true)
+}
+
+func serveFaults(seed uint64, batched bool, admitCfg admit.Config, replCfg replica.Config, useMcnt bool) *ServeFaultsResult {
 	const flapDimm = "host/mcn3"
 	cfg := serveConfig(seed, 200e3)
 	// Give the drain room for the RTO-driven recovery after the flap.
@@ -371,7 +428,7 @@ func serveFaults(seed uint64, batched bool, admitCfg admit.Config, replCfg repli
 	}
 
 	k := sim.NewKernel()
-	shards, clients, inject, _ := buildServeTopo(k, "mcn5")
+	shards, clients, inject, _, fab := buildServeTopo(k, "mcn5", useMcnt)
 	cfg.Shards, cfg.Clients = shards, clients
 	// The measured window starts after Warmup; flap 1ms into it for 2ms.
 	measStart := k.Now().Add(cfg.Warmup)
@@ -385,8 +442,18 @@ func serveFaults(seed uint64, batched bool, admitCfg admit.Config, replCfg repli
 
 	out := &ServeFaultsResult{
 		Seed: seed, Batched: batched, Admitted: admitCfg.Enabled(), Repl: replCfg.Enabled(),
+		Mcnt:     useMcnt,
 		FlapDimm: flapDimm, FlapStart: flapStart, FlapEnd: flapEnd,
 		Result: r, Degraded: r.Degraded(),
+	}
+	if fab != nil {
+		// Let in-flight frames and the resend window settle (several
+		// ResendTimeout rounds past the drain), then audit: every byte
+		// the flap ate must have been recovered and every credit grant
+		// reconverged — zero accounting drift.
+		k.RunUntil(k.Now().Add(5 * sim.Millisecond))
+		out.McntDrift = fab.CheckAccounting()
+		out.McntFabric = fab.String()
 	}
 	if r.Repl != nil {
 		// Convergence check: let the async forward windows drain, then run
@@ -420,11 +487,20 @@ func (r *ServeFaultsResult) String() string {
 	if r.Repl {
 		mode += ", replicated"
 	}
+	if r.Mcnt {
+		mode += ", mcnt"
+	}
 	fmt.Fprintf(&b, "serving under a DIMM flap: %s offline [%v, %v) (seed %d%s)\n",
 		r.FlapDimm, r.FlapStart, r.FlapEnd, r.Seed, mode)
 	b.WriteString(r.Result.String())
 	if r.Repl {
 		fmt.Fprintf(&b, "post-run convergence: %d diverged keys\n", r.Diverged)
+	}
+	if r.Mcnt {
+		fmt.Fprintf(&b, "%s | drift=%d\n", r.McntFabric, len(r.McntDrift))
+		for _, d := range r.McntDrift {
+			fmt.Fprintf(&b, "  drift: %s\n", d)
+		}
 	}
 	return b.String()
 }
@@ -449,8 +525,8 @@ type ServeReplResult struct {
 func ServeRepl(seed uint64) *ServeReplResult {
 	return &ServeReplResult{
 		Seed: seed,
-		Off:  serveFaults(seed, true, DefaultServeAdmit, replica.Config{}),
-		On:   serveFaults(seed, true, DefaultServeAdmit, DefaultServeRepl),
+		Off:  serveFaults(seed, true, DefaultServeAdmit, replica.Config{}, false),
+		On:   serveFaults(seed, true, DefaultServeAdmit, DefaultServeRepl, false),
 	}
 }
 
@@ -518,7 +594,7 @@ func ServeAdmit(seed uint64) *ServeAdmitResult {
 	}
 	for _, v := range variants {
 		k := sim.NewKernel()
-		shards, clients, inject, _ := buildServeTopo(k, "mcn5")
+		shards, clients, inject, _, _ := buildServeTopo(k, "mcn5", false)
 		cfg := serveAdmitConfig(seed)
 		cfg.Shards, cfg.Clients = shards, clients
 		cfg.Admit = v.admit
@@ -553,6 +629,105 @@ func (r *ServeAdmitResult) String() string {
 	}
 	fmt.Fprintf(&b, "fault-window p99: off=%.1fus reroute=%.1fus shed=%.1fus | rerouted=%d shed=%d\n",
 		r.P99Off()/1e3, r.P99Reroute()/1e3, r.P99Shed()/1e3, r.Reroute.Rerouted, r.Shed.Shed)
+	return b.String()
+}
+
+// ServeMcntResult is the transport A/B on the batched mcn5 fabric:
+// identical topology, seed and workload, shard connections on TCP vs on
+// the mcnt credit-based transport (internal/mcnt). The curves show where
+// each knee sits; the per-phase attribution (tracing 1-in-1 at the
+// standard attribution load) shows *why* — the phases TCP spent in
+// segmentation, ACK clocking and delayed-ACK wakeups (HostStack on the
+// request path, ReturnPath on the response path) collapse when the
+// transport is native to the memory channel.
+type ServeMcntResult struct {
+	Seed  uint64
+	SLONs float64
+	TCP   ServeTopoCurve
+	Mcnt  ServeTopoCurve
+	// AttribTCP/AttribMcnt are the per-phase latency attributions at
+	// ServeAttribRate (obs.NumPhases rows plus Total, in phase order).
+	AttribTCP  []obs.Attrib
+	AttribMcnt []obs.Attrib
+	AttribRate float64
+	Fabric     string // mcnt traffic summary from the attribution run
+}
+
+// ServeMcnt sweeps mcn5+batch with the shard connections on TCP and on
+// mcnt — the transport knee-mover figure — then traces both at the
+// attribution load for the phase-by-phase explanation. nil rates uses
+// the default ladders (the mcnt curve sweeps the extended one so its
+// knee is on the chart). Every stream derives from the seed, so both
+// variants replay bit-identically.
+func ServeMcnt(seed uint64, rates []float64) *ServeMcntResult {
+	res := &ServeMcntResult{Seed: seed, SLONs: DefaultServeSLONs, AttribRate: ServeAttribRate}
+	tcpRates, mcntRates := rates, rates
+	if rates == nil {
+		tcpRates, mcntRates = DefaultServeRates, McntServeRates
+	}
+	for _, v := range []struct {
+		topo  string
+		rates []float64
+		curve *ServeTopoCurve
+	}{
+		{"mcn5+batch", tcpRates, &res.TCP},
+		{"mcn5+batch+mcnt", mcntRates, &res.Mcnt},
+	} {
+		curve := ServeTopoCurve{Topo: v.topo}
+		for _, rate := range v.rates {
+			r := runServe(seed, v.topo, rate, nil, nil)
+			curve.Points = append(curve.Points, ServePoint{
+				OfferedQPS: rate,
+				Summary:    r.Summary(),
+				Errors:     r.Errors,
+				Unfinished: r.Unfinished,
+				Degraded:   r.Degraded(),
+			})
+		}
+		*v.curve = curve
+	}
+	tTCP := ServeTraced(seed, "mcn5+batch", ServeAttribRate, 0, 1)
+	tMcnt := ServeTraced(seed, "mcn5+batch+mcnt", ServeAttribRate, 0, 1)
+	res.AttribTCP = tTCP.Tracer.Attribution()
+	res.AttribMcnt = tMcnt.Tracer.Attribution()
+	res.Fabric = tMcnt.McntFabric
+	return res
+}
+
+// String renders the A/B: both curves, the qps-at-SLO headline, and the
+// per-phase before/after table with the HostStack+ReturnPath delta.
+func (r *ServeMcntResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "mcnt transport on memory-channel hops: mcn5+batch, TCP vs mcnt (seed %d, p99 SLO %.0fus)\n",
+		r.Seed, r.SLONs/1e3)
+	for _, c := range []ServeTopoCurve{r.TCP, r.Mcnt} {
+		fmt.Fprintf(&b, "%s\n", c.Topo)
+		fmt.Fprintf(&b, "%12s %10s %10s %10s %7s\n", "offered/s", "qps", "p50us", "p99us", "ok")
+		for _, p := range c.Points {
+			ok := "yes"
+			if !p.Healthy() {
+				ok = fmt.Sprintf("e%d/u%d", p.Errors, p.Unfinished)
+			}
+			fmt.Fprintf(&b, "%12.0f %10.0f %10.1f %10.1f %7s\n",
+				p.OfferedQPS, p.Summary.QPS, p.Summary.P50/1e3, p.Summary.P99/1e3, ok)
+		}
+	}
+	off, on := r.TCP.QpsAtSLO(r.SLONs), r.Mcnt.QpsAtSLO(r.SLONs)
+	fmt.Fprintf(&b, "qps at p99<=%.0fus: tcp=%.0f mcnt=%.0f (%+.0f%%)\n",
+		r.SLONs/1e3, off, on, 100*(on-off)/off)
+	fmt.Fprintf(&b, "per-phase mean us @ %.0f req/s (tcp -> mcnt):\n", r.AttribRate)
+	var dTCP, dMcnt float64
+	for pi := 0; pi <= int(obs.NumPhases); pi++ {
+		at, am := r.AttribTCP[pi], r.AttribMcnt[pi]
+		fmt.Fprintf(&b, "  %-12s %8.2f -> %8.2f\n", at.Phase, at.MeanNs/1e3, am.MeanNs/1e3)
+		if at.Phase == "HostStack" || at.Phase == "ReturnPath" {
+			dTCP += at.MeanNs
+			dMcnt += am.MeanNs
+		}
+	}
+	fmt.Fprintf(&b, "HostStack+ReturnPath: %.2fus -> %.2fus (%+.0f%%)\n",
+		dTCP/1e3, dMcnt/1e3, 100*(dMcnt-dTCP)/dTCP)
+	fmt.Fprintf(&b, "%s\n", r.Fabric)
 	return b.String()
 }
 

@@ -1,7 +1,10 @@
 package exp
 
 import (
+	"strings"
 	"testing"
+
+	"github.com/mcn-arch/mcn/internal/obs"
 )
 
 // serveTestRates is a short ladder that still brackets the latency knee:
@@ -103,6 +106,58 @@ func TestServeAdmitBoundsFaultTail(t *testing.T) {
 	}
 	if r.String() == "" {
 		t.Fatal("empty rendition")
+	}
+}
+
+func TestServeMcntShape(t *testing.T) {
+	// The transport A/B on a short ladder: both curves present, the mcnt
+	// tail strictly better at matched load (the per-segment stack cost is
+	// gone), the attribution rows populated, and the rendition non-empty.
+	r := ServeMcnt(7, serveTestRates)
+	if len(r.TCP.Points) != len(serveTestRates) || len(r.Mcnt.Points) != len(serveTestRates) {
+		t.Fatalf("curve lengths %d/%d, want %d", len(r.TCP.Points), len(r.Mcnt.Points), len(serveTestRates))
+	}
+	for i := range r.TCP.Points {
+		tp, mp := r.TCP.Points[i], r.Mcnt.Points[i]
+		if !tp.Healthy() || !mp.Healthy() {
+			t.Fatalf("unhealthy point at %.0f req/s", tp.OfferedQPS)
+		}
+		if mp.Summary.P99 >= tp.Summary.P99 {
+			t.Errorf("at %.0f req/s: mcnt p99 %.0fns !< tcp p99 %.0fns",
+				mp.OfferedQPS, mp.Summary.P99, tp.Summary.P99)
+		}
+	}
+	if len(r.AttribTCP) != int(obs.NumPhases)+1 || len(r.AttribMcnt) != int(obs.NumPhases)+1 {
+		t.Fatalf("attribution rows %d/%d", len(r.AttribTCP), len(r.AttribMcnt))
+	}
+	if r.Fabric == "" {
+		t.Fatal("no mcnt fabric summary from the attribution run")
+	}
+	if r.String() == "" {
+		t.Fatal("empty rendition")
+	}
+}
+
+func TestServeFaultsMcntZeroDrift(t *testing.T) {
+	// Under a DIMM flap the mcnt go-back-N window must fully recover:
+	// after the post-run quiesce the fabric's credit accounting shows
+	// zero drift, and the resend counter proves the flap actually cost
+	// frames (the recovery was exercised, not vacuous).
+	r := ServeFaultsMcnt(42)
+	if !r.Mcnt {
+		t.Fatal("run does not report the mcnt transport")
+	}
+	if r.Result.N == 0 {
+		t.Fatalf("faulted run completed nothing:\n%s", r)
+	}
+	if len(r.McntDrift) != 0 {
+		t.Fatalf("credit accounting drift after flap recovery:\n%s", r)
+	}
+	if r.McntFabric == "" {
+		t.Fatal("no fabric summary")
+	}
+	if !strings.Contains(r.McntFabric, "resent=") || strings.Contains(r.McntFabric, "resent=0 ") {
+		t.Fatalf("flap run shows no resends — recovery path not exercised: %s", r.McntFabric)
 	}
 }
 

@@ -337,16 +337,18 @@ func (s *Server) Endpoint() cluster.Endpoint { return s.ep }
 // Port returns the server's listening port.
 func (s *Server) Port() uint16 { return s.port }
 
-// NewServer creates a store and starts accepting connections.
+// NewServer creates a store and starts accepting connections over the
+// endpoint's transport (TCP by default; mcnt when the topology installs
+// it — the codec is identical over either).
 func NewServer(k *sim.Kernel, ep cluster.Endpoint, port uint16) *Server {
 	s := &Server{ep: ep, port: port, data: make(map[string]entry)}
 	k.Go(fmt.Sprintf("kv/%s", ep.Node.Name), func(p *sim.Proc) {
-		l, err := ep.Node.Stack.Listen(port)
+		l, err := ep.ListenConn(port)
 		if err != nil {
 			panic(err)
 		}
 		for {
-			c, err := l.Accept(p)
+			c, err := l.AcceptConn(p)
 			if err != nil {
 				return
 			}
@@ -389,7 +391,7 @@ const respFlushBytes = 32 << 10
 // the accumulated responses as one contiguous burst; it flushes before
 // any read that would block, which keeps single requests at exactly one
 // response write (no added latency when traffic is sparse).
-func (s *Server) serve(p *sim.Proc, c *netstack.TCPConn) {
+func (s *Server) serve(p *sim.Proc, c netstack.Conn) {
 	in := connReader{c: c}
 	var out []byte
 	// reqIdx is the FIFO index of the next request on this connection —
@@ -640,7 +642,7 @@ func (s *Server) buildDelta(p *sim.Proc, afterSeq uint64) []byte {
 // whole fields without one Recv call (and its socket cost) per field —
 // the server-side half of request batching.
 type connReader struct {
-	c   *netstack.TCPConn
+	c   netstack.Conn
 	buf []byte
 	r   int
 }
@@ -679,14 +681,15 @@ func (cr *connReader) next(p *sim.Proc, n int) ([]byte, bool) {
 
 // Client is one connection to a Server.
 type Client struct {
-	conn *netstack.TCPConn
+	conn netstack.Conn
 	// Lat records per-operation round-trip latencies (ns).
 	Lat stats.Histogram
 }
 
-// Dial connects a client from ep to the server at addr:port.
+// Dial connects a client from ep to the server at addr:port over the
+// endpoint's transport.
 func Dial(p *sim.Proc, ep cluster.Endpoint, addr netstack.IP, port uint16) (*Client, error) {
-	c, err := ep.Node.Stack.Connect(p, addr, port)
+	c, err := ep.DialConn(p, addr, port)
 	if err != nil {
 		return nil, err
 	}
@@ -764,7 +767,7 @@ func (c *Client) do(p *sim.Proc, op byte, key string, val []byte) ([]byte, byte,
 	return out, hdr[0], nil
 }
 
-func readFull(p *sim.Proc, c *netstack.TCPConn, buf []byte) bool {
+func readFull(p *sim.Proc, c netstack.Conn, buf []byte) bool {
 	got := 0
 	for got < len(buf) {
 		n, ok := c.Recv(p, buf[got:])

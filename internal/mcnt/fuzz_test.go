@@ -1,0 +1,74 @@
+package mcnt
+
+import (
+	"bytes"
+	"testing"
+)
+
+func frameBytes(h Header, payload []byte) []byte {
+	h.Len = uint32(len(payload))
+	b := make([]byte, HeaderBytes+len(payload))
+	PutHeader(b, h)
+	copy(b[HeaderBytes:], payload)
+	return b
+}
+
+// FuzzParseFrame: arbitrary bytes never panic, a successful parse
+// re-encodes to the identical header bytes, and every invariant the
+// transport relies on (kind range, sequencing discipline, payload
+// bounds) holds on the parsed result.
+func FuzzParseFrame(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(make([]byte, HeaderBytes-1))
+	f.Add(frameBytes(Header{Kind: KindData, Flags: FlagFromDialer, Stream: 49152, Seq: 1, Off: 0}, []byte("get k")))
+	f.Add(frameBytes(Header{Kind: KindSyn, Flags: FlagFromDialer, Stream: 49153, Seq: 2, Off: 5000}, nil))
+	f.Add(frameBytes(Header{Kind: KindFin, Stream: 49153, Seq: 900, Ack: 899, Credit: 1 << 20}, nil))
+	f.Add(frameBytes(Header{Kind: KindCredit, Stream: 49152, Ack: 41, Credit: 32 << 10}, nil))
+	f.Add(frameBytes(Header{Kind: KindNack, Stream: 49152, Ack: 7}, nil))
+	f.Add(frameBytes(Header{Kind: KindProbe, Stream: 49152, Ack: 12, Credit: 99}, nil))
+	f.Add(frameBytes(Header{Kind: KindData, Stream: 1, Seq: 1}, bytes.Repeat([]byte{0xAA}, MaxData)))
+	f.Add(bytes.Repeat([]byte{0xFF}, HeaderBytes+8))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		h, payload, ok := ParseFrame(b)
+		if !ok {
+			if h != (Header{}) || payload != nil {
+				t.Fatal("failed parse returned non-zero results")
+			}
+			return
+		}
+		if len(b) < HeaderBytes {
+			t.Fatal("parse succeeded on a short frame")
+		}
+		if h.Kind < KindData || h.Kind > KindProbe {
+			t.Fatalf("parse accepted kind %d", h.Kind)
+		}
+		sequenced := h.Kind == KindData || h.Kind == KindSyn || h.Kind == KindFin
+		if sequenced && h.Seq == 0 {
+			t.Fatal("sequenced frame with seq 0 accepted")
+		}
+		if !sequenced && h.Seq != 0 {
+			t.Fatal("control frame with a sequence number accepted")
+		}
+		if h.Kind != KindData && (h.Len != 0 || len(payload) != 0) {
+			t.Fatalf("non-data kind %d carries %d payload bytes", h.Kind, h.Len)
+		}
+		if h.Kind == KindData {
+			if h.Len == 0 || h.Len > MaxData {
+				t.Fatalf("data length %d out of bounds", h.Len)
+			}
+			if int(h.Len) != len(payload) {
+				t.Fatalf("declared %d payload bytes, parsed %d", h.Len, len(payload))
+			}
+		}
+		if h.Kind == KindSyn && h.Off > 0xFFFF {
+			t.Fatalf("syn accepted 32-bit port %d", h.Off)
+		}
+		// Round-trip: re-encoding the parsed header must reproduce the
+		// original header bytes exactly.
+		var re [HeaderBytes]byte
+		PutHeader(re[:], h)
+		if !bytes.Equal(re[:], b[:HeaderBytes]) {
+			t.Fatalf("re-encoded header differs:\n got %x\nwant %x", re[:], b[:HeaderBytes])
+		}
+	})
+}

@@ -1,0 +1,516 @@
+package mcnt
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"github.com/mcn-arch/mcn/internal/cluster"
+	"github.com/mcn-arch/mcn/internal/core"
+	"github.com/mcn-arch/mcn/internal/faults"
+	"github.com/mcn-arch/mcn/internal/netstack"
+	"github.com/mcn-arch/mcn/internal/node"
+	"github.com/mcn-arch/mcn/internal/sim"
+)
+
+func newFabric(t *testing.T, nDimms int) (*sim.Kernel, *cluster.McnServer, *Fabric) {
+	t.Helper()
+	k := sim.NewKernel()
+	s := cluster.NewMcnServer(k, nDimms, core.MCN5.Options())
+	f := Attach(k, s.Host, DefaultParams())
+	return k, s, f
+}
+
+func pattern(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i*7 + i>>9)
+	}
+	return b
+}
+
+// checkClean fails the test if the fabric reports any credit or
+// window accounting drift.
+func checkClean(t *testing.T, f *Fabric) {
+	t.Helper()
+	if bad := f.CheckAccounting(); len(bad) != 0 {
+		t.Fatalf("accounting drift:\n%s", bad)
+	}
+}
+
+// TestEchoHostToDimm drives a request/response exchange from the host
+// to a DIMM over mcnt and verifies exact bytes, tuple mirroring, and
+// clean accounting after close.
+func TestEchoHostToDimm(t *testing.T) {
+	k, s, f := newFabric(t, 2)
+	req := pattern(3000)
+	resp := pattern(9000)
+	var got []byte
+	var done bool
+	k.Go("server", func(p *sim.Proc) {
+		ln, err := f.Listen(s.Mcns[0].Node, 5001)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		c, err := ln.AcceptConn(p)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		buf := make([]byte, 64<<10)
+		var in []byte
+		for len(in) < len(req) {
+			n, ok := c.Recv(p, buf)
+			in = append(in, buf[:n]...)
+			if !ok {
+				break
+			}
+		}
+		if !bytes.Equal(in, req) {
+			t.Errorf("server received %d bytes, want %d matching", len(in), len(req))
+		}
+		c.Send(p, resp)
+		// Server closes after the client does.
+		for !c.(*Conn).peerClosed {
+			n, _ := c.Recv(p, buf)
+			if n == 0 {
+				break
+			}
+		}
+		c.Close(p)
+	})
+	k.Go("client", func(p *sim.Proc) {
+		c, err := f.Dial(p, s.Host.Node, s.Mcns[0].IP, 5001)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		lip, lport, rip, rport := c.Tuple()
+		if lip != s.Host.HostMcnIP() || rip != s.Mcns[0].IP || rport != 5001 || lport != uint16(c.stream) {
+			t.Errorf("dialer tuple %v:%d->%v:%d looks wrong", lip, lport, rip, rport)
+		}
+		c.Send(p, req)
+		buf := make([]byte, 64<<10)
+		for len(got) < len(resp) {
+			n, ok := c.Recv(p, buf)
+			got = append(got, buf[:n]...)
+			if !ok {
+				break
+			}
+		}
+		c.Close(p)
+		done = true
+	})
+	k.RunFor(50 * sim.Millisecond)
+	if !done {
+		t.Fatal("client never finished")
+	}
+	if !bytes.Equal(got, resp) {
+		t.Fatalf("client got %d bytes, want %d matching", len(got), len(resp))
+	}
+	if f.DataFrames == 0 {
+		t.Fatal("no data frames counted")
+	}
+	checkClean(t, f)
+	k.Shutdown()
+}
+
+// TestCreditBlocking proves flow control: a sender pushing more than
+// one window with a sleepy receiver must block until credits return,
+// and the stream still delivers every byte in order.
+func TestCreditBlocking(t *testing.T) {
+	k, s, f := newFabric(t, 1)
+	total := 5 * DefaultWindow
+	msg := pattern(total)
+	var sentAt, firstRecvAt sim.Time
+	var got []byte
+	k.Go("rx", func(p *sim.Proc) {
+		ln, _ := f.Listen(s.Mcns[0].Node, 6001)
+		c, _ := ln.AcceptConn(p)
+		// Let the sender exhaust its window before consuming anything.
+		p.Sleep(2 * sim.Millisecond)
+		buf := make([]byte, 4096)
+		for len(got) < total {
+			n, ok := c.Recv(p, buf)
+			if firstRecvAt == 0 {
+				firstRecvAt = p.Now()
+			}
+			got = append(got, buf[:n]...)
+			if !ok {
+				break
+			}
+		}
+		c.Close(p)
+	})
+	k.Go("tx", func(p *sim.Proc) {
+		c, _ := f.Dial(p, s.Host.Node, s.Mcns[0].IP, 6001)
+		c.Send(p, msg)
+		sentAt = p.Now()
+		c.Close(p)
+	})
+	k.RunFor(100 * sim.Millisecond)
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("delivered %d bytes, want %d matching", len(got), total)
+	}
+	if sentAt < firstRecvAt {
+		t.Fatalf("Send returned at %v before the receiver consumed anything (%v): window not enforced", sentAt, firstRecvAt)
+	}
+	checkClean(t, f)
+	k.Shutdown()
+}
+
+// TestMultiStreamOneLink multiplexes several concurrent streams over
+// one host->DIMM link and checks per-stream isolation.
+func TestMultiStreamOneLink(t *testing.T) {
+	k, s, f := newFabric(t, 1)
+	const nStreams = 4
+	const per = 40 << 10
+	k.Go("server", func(p *sim.Proc) {
+		ln, _ := f.Listen(s.Mcns[0].Node, 7001)
+		for i := 0; i < nStreams; i++ {
+			c, err := ln.AcceptConn(p)
+			if err != nil {
+				return
+			}
+			k.Go(fmt.Sprintf("echo%d", i), func(ep *sim.Proc) {
+				buf := make([]byte, 8192)
+				n := 0
+				for n < per {
+					m, ok := c.Recv(ep, buf)
+					c.Send(ep, buf[:m])
+					n += m
+					if !ok {
+						break
+					}
+				}
+				for !c.(*Conn).peerClosed {
+					if m, _ := c.Recv(ep, buf); m == 0 {
+						break
+					}
+				}
+				c.Close(ep)
+			})
+		}
+	})
+	oks := make([]bool, nStreams)
+	for i := 0; i < nStreams; i++ {
+		i := i
+		k.Go(fmt.Sprintf("client%d", i), func(p *sim.Proc) {
+			c, err := f.Dial(p, s.Host.Node, s.Mcns[0].IP, 7001)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			msg := pattern(per)
+			for b := range msg {
+				msg[b] ^= byte(i)
+			}
+			done := k.NewSignal()
+			var echo []byte
+			k.Go(fmt.Sprintf("client%d/rx", i), func(rp *sim.Proc) {
+				buf := make([]byte, 8192)
+				for len(echo) < per {
+					n, ok := c.Recv(rp, buf)
+					echo = append(echo, buf[:n]...)
+					if !ok {
+						break
+					}
+				}
+				done.Notify()
+			})
+			c.Send(p, msg)
+			for len(echo) < per {
+				done.Wait(p)
+			}
+			if !bytes.Equal(echo, msg) {
+				t.Errorf("stream %d echoed %d bytes, want %d matching", i, len(echo), per)
+			}
+			c.Close(p)
+			oks[i] = true
+		})
+	}
+	k.RunFor(200 * sim.Millisecond)
+	for i, ok := range oks {
+		if !ok {
+			t.Fatalf("stream %d never finished", i)
+		}
+	}
+	checkClean(t, f)
+	k.Shutdown()
+}
+
+// TestDimmToDimmRelay opens a stream between sibling DIMMs: the frames
+// must transit the host forwarding engine's F3 relay.
+func TestDimmToDimmRelay(t *testing.T) {
+	k, s, f := newFabric(t, 3)
+	msg := pattern(20 << 10)
+	var got []byte
+	k.Go("server", func(p *sim.Proc) {
+		ln, _ := f.Listen(s.Mcns[2].Node, 8001)
+		c, _ := ln.AcceptConn(p)
+		buf := make([]byte, 8192)
+		for len(got) < len(msg) {
+			n, ok := c.Recv(p, buf)
+			got = append(got, buf[:n]...)
+			if !ok {
+				break
+			}
+		}
+		c.Close(p)
+	})
+	k.Go("client", func(p *sim.Proc) {
+		c, err := f.Dial(p, s.Mcns[0].Node, s.Mcns[2].IP, 8001)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		c.Send(p, msg)
+		c.Close(p)
+	})
+	k.RunFor(100 * sim.Millisecond)
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("relay delivered %d bytes, want %d matching", len(got), len(msg))
+	}
+	if s.Host.Driver.RelayedDimm == 0 {
+		t.Fatal("no DIMM-to-DIMM relays counted: frames did not cross the forwarding engine")
+	}
+	checkClean(t, f)
+	k.Shutdown()
+}
+
+// TestDialBeforeListen exercises the embryonic queue: a stream dialed
+// before the server listens is delivered at Listen time.
+func TestDialBeforeListen(t *testing.T) {
+	k, s, f := newFabric(t, 1)
+	var accepted bool
+	k.Go("client", func(p *sim.Proc) {
+		c, err := f.Dial(p, s.Host.Node, s.Mcns[0].IP, 9001)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		c.Send(p, []byte("early"))
+	})
+	k.Go("server", func(p *sim.Proc) {
+		p.Sleep(5 * sim.Millisecond)
+		ln, _ := f.Listen(s.Mcns[0].Node, 9001)
+		c, err := ln.AcceptConn(p)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		buf := make([]byte, 16)
+		n, _ := c.Recv(p, buf)
+		if string(buf[:n]) != "early" {
+			t.Errorf("got %q", buf[:n])
+		}
+		accepted = true
+	})
+	k.RunFor(50 * sim.Millisecond)
+	if !accepted {
+		t.Fatal("embryonic stream never accepted")
+	}
+	k.Shutdown()
+}
+
+// TestTransportFallback checks per-link selectability: the transport
+// uses mcnt for fabric IPs and falls back to TCP elsewhere, and the
+// merged listener accepts both kinds.
+func TestTransportFallback(t *testing.T) {
+	k, s, f := newFabric(t, 2)
+	tr := f.TransportFor(s.Host.Node)
+	if tr == nil {
+		t.Fatal("host not on fabric")
+	}
+	if f.TransportFor(&node.Node{}) != nil {
+		t.Fatal("foreign node claims a fabric transport")
+	}
+	var mcntOK, tcpOK bool
+	k.Go("server", func(p *sim.Proc) {
+		dimmTr := f.TransportFor(s.Mcns[0].Node)
+		ln, err := dimmTr.ListenConn(4000)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for i := 0; i < 2; i++ {
+			c, err := ln.AcceptConn(p)
+			if err != nil {
+				return
+			}
+			k.Go(fmt.Sprintf("srv%d", i), func(sp *sim.Proc) {
+				buf := make([]byte, 64)
+				n, _ := c.Recv(sp, buf)
+				switch string(buf[:n]) {
+				case "via-mcnt":
+					if _, isMcnt := c.(*Conn); !isMcnt {
+						t.Error("fabric dial did not arrive over mcnt")
+					}
+					mcntOK = true
+				case "via-tcp":
+					if _, isTCP := c.(*netstack.TCPConn); !isTCP {
+						t.Error("TCP dial did not arrive over TCP")
+					}
+					tcpOK = true
+				}
+			})
+		}
+	})
+	k.Go("mcnt-client", func(p *sim.Proc) {
+		c, err := tr.DialConn(p, s.Mcns[0].IP, 4000)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if _, isMcnt := c.(*Conn); !isMcnt {
+			t.Error("fabric-internal dial fell back to TCP")
+		}
+		c.Send(p, []byte("via-mcnt"))
+	})
+	k.Go("tcp-client", func(p *sim.Proc) {
+		// Dial the DIMM over plain TCP (as the replication plane and
+		// cross-host peers do): the merged listener must accept it.
+		c, err := s.Host.Node.Stack.DialConn(p, s.Mcns[0].IP, 4000)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		c.Send(p, []byte("via-tcp"))
+	})
+	k.RunFor(100 * sim.Millisecond)
+	if !mcntOK || !tcpOK {
+		t.Fatalf("merged listener missed a path: mcnt=%v tcp=%v", mcntOK, tcpOK)
+	}
+	k.Shutdown()
+}
+
+// TestGoBackNUnderLoss injects memory-channel loss and verifies the
+// go-back-N layer delivers every byte exactly once, recovers the
+// window, and replays byte-identically per seed.
+func TestGoBackNUnderLoss(t *testing.T) {
+	run := func(seed uint64) (sim.Time, string, int64) {
+		k := sim.NewKernel()
+		s := cluster.NewMcnServer(k, 2, core.MCN5.Options())
+		f := Attach(k, s.Host, DefaultParams())
+		in := faults.New(k, faults.Plan{Seed: seed, McnLossProb: 0.02})
+		s.InjectFaults(in)
+		const total = 256 << 10
+		msg := pattern(total)
+		var got []byte
+		var doneAt sim.Time
+		k.Go("rx", func(p *sim.Proc) {
+			ln, _ := f.Listen(s.Mcns[0].Node, 5002)
+			c, _ := ln.AcceptConn(p)
+			buf := make([]byte, 8192)
+			for len(got) < total {
+				n, ok := c.Recv(p, buf)
+				got = append(got, buf[:n]...)
+				if !ok {
+					break
+				}
+			}
+			c.Close(p)
+			doneAt = p.Now()
+		})
+		k.Go("tx", func(p *sim.Proc) {
+			c, err := f.Dial(p, s.Host.Node, s.Mcns[0].IP, 5002)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			c.Send(p, msg)
+			c.Close(p)
+		})
+		k.RunFor(2 * sim.Second)
+		if len(got) != total || !bytes.Equal(got, msg) {
+			t.Fatalf("seed %d: delivered %d/%d bytes intact=%v", seed, len(got), total, bytes.Equal(got, msg))
+		}
+		if f.Resent == 0 {
+			t.Fatalf("seed %d: loss injected but nothing was resent", seed)
+		}
+		checkClean(t, f)
+		st := f.String()
+		k.Shutdown()
+		return doneAt, st, f.Resent
+	}
+	t1, s1, _ := run(11)
+	t2, s2, _ := run(11)
+	if t1 != t2 || s1 != s2 {
+		t.Fatalf("same seed diverged:\n%v %s\nvs\n%v %s", t1, s1, t2, s2)
+	}
+	t3, s3, _ := run(12)
+	if t3 == t1 && s3 == s1 {
+		t.Fatal("different seed replayed identically; injection looks seed-independent")
+	}
+}
+
+// TestAccountingCatchesDrift makes sure the auditor is not vacuous: a
+// hand-broken counter must be reported.
+func TestAccountingCatchesDrift(t *testing.T) {
+	k, s, f := newFabric(t, 1)
+	k.Go("server", func(p *sim.Proc) {
+		ln, _ := f.Listen(s.Mcns[0].Node, 5003)
+		c, _ := ln.AcceptConn(p)
+		buf := make([]byte, 1024)
+		c.Recv(p, buf)
+	})
+	k.Go("client", func(p *sim.Proc) {
+		c, _ := f.Dial(p, s.Host.Node, s.Mcns[0].IP, 5003)
+		c.Send(p, []byte("hello"))
+	})
+	k.RunFor(20 * sim.Millisecond)
+	checkClean(t, f)
+	f.pairs[f.streams[0]].dialer.sentB += 3
+	if len(f.CheckAccounting()) == 0 {
+		t.Fatal("corrupted sentB not detected")
+	}
+	k.Shutdown()
+}
+
+// TestSendOnClosed verifies the error path.
+func TestSendOnClosed(t *testing.T) {
+	k, s, f := newFabric(t, 1)
+	var errOK bool
+	k.Go("client", func(p *sim.Proc) {
+		c, _ := f.Dial(p, s.Host.Node, s.Mcns[0].IP, 5004)
+		c.Close(p)
+		if err := c.Send(p, []byte("x")); err != nil {
+			errOK = true
+		}
+		if n := c.RecvN(p, 10); n != 0 {
+			t.Errorf("RecvN on closed stream returned %d", n)
+		}
+	})
+	k.RunFor(10 * sim.Millisecond)
+	if !errOK {
+		t.Fatal("send on closed stream did not error")
+	}
+	k.Shutdown()
+}
+
+// TestListenErrors covers double-listen and off-fabric dials.
+func TestListenErrors(t *testing.T) {
+	k, s, f := newFabric(t, 1)
+	k.Go("t", func(p *sim.Proc) {
+		if _, err := f.Listen(s.Mcns[0].Node, 5005); err != nil {
+			t.Error(err)
+		}
+		if _, err := f.Listen(s.Mcns[0].Node, 5005); err == nil {
+			t.Error("double listen succeeded")
+		}
+		if _, err := f.Listen(&node.Node{}, 5006); err == nil {
+			t.Error("listen on foreign node succeeded")
+		}
+		if _, err := f.Dial(p, s.Host.Node, netstack.IPv4(10, 9, 9, 9), 1); err == nil {
+			t.Error("dial to off-fabric IP succeeded")
+		}
+		if _, err := f.Dial(p, &node.Node{}, s.Mcns[0].IP, 1); err == nil {
+			t.Error("dial from foreign node succeeded")
+		}
+	})
+	k.RunFor(time10ms)
+	k.Shutdown()
+}
+
+const time10ms = 10 * sim.Millisecond

@@ -46,7 +46,7 @@ type Rank struct {
 	P  *sim.Proc
 	ep cluster.Endpoint
 
-	conns []*netstack.TCPConn // per peer, nil for self
+	conns []netstack.Conn // per peer, nil for self
 
 	// Stats.
 	BytesSent int64
@@ -60,7 +60,7 @@ func Launch(k *sim.Kernel, eps []cluster.Endpoint, basePort uint16, prog Program
 	w := &World{K: k, eps: eps, basePort: basePort, start: k.Now(), done: k.NewSignal()}
 	w.ranks = make([]*Rank, len(eps))
 	for i := range eps {
-		r := &Rank{W: w, ID: i, ep: eps[i], conns: make([]*netstack.TCPConn, len(eps))}
+		r := &Rank{W: w, ID: i, ep: eps[i], conns: make([]netstack.Conn, len(eps))}
 		w.ranks[i] = r
 		i := i
 		k.Go(fmt.Sprintf("mpi/rank%d", i), func(p *sim.Proc) {
@@ -113,7 +113,7 @@ func (r *Rank) bootstrap(p *sim.Proc) {
 	w := r.W
 	n := len(w.eps)
 	port := w.basePort + uint16(r.ID)
-	l, err := r.ep.Node.Stack.Listen(port)
+	l, err := r.ep.ListenConn(port)
 	if err != nil {
 		panic(fmt.Sprintf("mpi rank %d: %v", r.ID, err))
 	}
@@ -123,7 +123,7 @@ func (r *Rank) bootstrap(p *sim.Proc) {
 	if pending > 0 {
 		w.K.Go(fmt.Sprintf("mpi/rank%d/accept", r.ID), func(ap *sim.Proc) {
 			for i := 0; i < pending; i++ {
-				c, err := l.Accept(ap)
+				c, err := l.AcceptConn(ap)
 				if err != nil {
 					panic(err)
 				}
@@ -137,7 +137,7 @@ func (r *Rank) bootstrap(p *sim.Proc) {
 		})
 	}
 	for j := 0; j < r.ID; j++ {
-		c, err := r.ep.Node.Stack.Connect(p, w.eps[j].IP, w.basePort+uint16(j))
+		c, err := r.ep.DialConn(p, w.eps[j].IP, w.basePort+uint16(j))
 		if err != nil {
 			panic(fmt.Sprintf("mpi rank %d -> %d: %v", r.ID, j, err))
 		}
@@ -154,7 +154,7 @@ func (r *Rank) bootstrap(p *sim.Proc) {
 	l.Close()
 }
 
-func readFull(p *sim.Proc, c *netstack.TCPConn, buf []byte) {
+func readFull(p *sim.Proc, c netstack.Conn, buf []byte) {
 	got := 0
 	for got < len(buf) {
 		n, ok := c.Recv(p, buf[got:])

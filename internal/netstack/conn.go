@@ -1,0 +1,73 @@
+package netstack
+
+import "github.com/mcn-arch/mcn/internal/sim"
+
+// Conn is the byte-stream surface shared by TCP connections and
+// alternative transports (the MCN-native mcnt transport). Everything
+// above the transport — the kvstore codec, the serving tier's shard
+// connections, the MPI runtime — speaks this interface, so a link can
+// swap TCP for a channel-native protocol without the application
+// noticing.
+type Conn interface {
+	// Send transmits data, blocking on flow control.
+	Send(p *sim.Proc, data []byte) error
+	// SendN transmits n bytes of synthetic payload.
+	SendN(p *sim.Proc, n int) error
+	// Recv copies received bytes into buf, blocking until at least one
+	// byte is available. ok=false means the peer closed and the stream
+	// is drained.
+	Recv(p *sim.Proc, buf []byte) (int, bool)
+	// RecvN consumes and discards up to n bytes, returning the count
+	// actually received before close.
+	RecvN(p *sim.Proc, n int) int
+	// Buffered reports bytes received but not yet consumed.
+	Buffered() int
+	// Close shuts the connection down.
+	Close(p *sim.Proc)
+	// Closed reports whether the connection is fully closed.
+	Closed() bool
+	// Tuple identifies the connection's two ends.
+	Tuple() (local IP, lport uint16, remote IP, rport uint16)
+}
+
+// Acceptor accepts inbound connections on a listening port.
+type Acceptor interface {
+	AcceptConn(p *sim.Proc) (Conn, error)
+	// Close stops the acceptor; blocked AcceptConn calls return an
+	// error.
+	Close()
+}
+
+// Transport dials and listens for byte-stream connections. *Stack is
+// the TCP implementation; mcnt.Fabric provides the MCN-native one.
+type Transport interface {
+	DialConn(p *sim.Proc, dst IP, port uint16) (Conn, error)
+	ListenConn(port uint16) (Acceptor, error)
+}
+
+// DialConn implements Transport over TCP.
+func (s *Stack) DialConn(p *sim.Proc, dst IP, port uint16) (Conn, error) {
+	c, err := s.Connect(p, dst, port)
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// ListenConn implements Transport over TCP.
+func (s *Stack) ListenConn(port uint16) (Acceptor, error) {
+	l, err := s.Listen(port)
+	if err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// AcceptConn implements Acceptor for the TCP listener.
+func (l *Listener) AcceptConn(p *sim.Proc) (Conn, error) {
+	c, err := l.Accept(p)
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}

@@ -426,7 +426,7 @@ type shardConn struct {
 	q           *sim.Queue[*request]
 	inflight    *sim.Resource
 	outstanding []*request
-	conn        *netstack.TCPConn
+	conn        netstack.Conn
 	dead        bool
 	setVal      []byte
 	// flow is the tracer's correlation state for this connection (nil
@@ -790,7 +790,7 @@ func (sc *shardConn) reqBytes(req *request) int {
 // slots would collapse the batch size back to 1 under overload, because
 // slots free one response at a time.
 func (sc *shardConn) run(p *sim.Proc) {
-	conn, err := sc.client.Node.Stack.Connect(p, sc.addr, sc.port)
+	conn, err := sc.client.DialConn(p, sc.addr, sc.port)
 	if err != nil {
 		sc.dead = true
 	} else {
@@ -798,6 +798,9 @@ func (sc *shardConn) run(p *sim.Proc) {
 		if t := sc.b.cfg.Tracer; t != nil {
 			lip, lport, rip, rport := conn.Tuple()
 			sc.flow = t.OpenFlow(lip, lport, rip, rport)
+			// An mcnt connection is correlated by stream id rather than
+			// the TCP 4-tuple; BindConn registers it when applicable.
+			t.BindConn(conn, sc.flow)
 		}
 		sc.b.k.Go(fmt.Sprintf("%s/rx", p.Name()), sc.receive)
 	}
@@ -1092,7 +1095,7 @@ func (b *bench) publish() {
 }
 
 // readFull reads exactly len(buf) bytes; false means the stream ended.
-func readFull(p *sim.Proc, c *netstack.TCPConn, buf []byte) bool {
+func readFull(p *sim.Proc, c netstack.Conn, buf []byte) bool {
 	got := 0
 	for got < len(buf) {
 		n, ok := c.Recv(p, buf[got:])

@@ -35,12 +35,13 @@ import (
 	"github.com/mcn-arch/mcn/internal/kvstore"
 	"github.com/mcn-arch/mcn/internal/mapreduce"
 	"github.com/mcn-arch/mcn/internal/mcnfast"
+	"github.com/mcn-arch/mcn/internal/mcnt"
 	"github.com/mcn-arch/mcn/internal/mpi"
 	"github.com/mcn-arch/mcn/internal/netstack"
 	"github.com/mcn-arch/mcn/internal/node"
-	"github.com/mcn-arch/mcn/internal/replica"
-	"github.com/mcn-arch/mcn/internal/obs"
 	"github.com/mcn-arch/mcn/internal/npb"
+	"github.com/mcn-arch/mcn/internal/obs"
+	"github.com/mcn-arch/mcn/internal/replica"
 	"github.com/mcn-arch/mcn/internal/serve"
 	"github.com/mcn-arch/mcn/internal/sim"
 	"github.com/mcn-arch/mcn/internal/stats"
@@ -473,6 +474,40 @@ func ServeFaultsRepl(seed uint64) *ServeFaultsResult { return exp.ServeFaultsRep
 // post-run replica convergence.
 func ServeRepl(seed uint64) *ServeReplResult { return exp.ServeRepl(seed) }
 
+// mcnt: the MCN-native reliable transport — credit-based sliding-window
+// flow control with go-back-N resend over the SRAM rings, replacing TCP
+// on memory-channel hops (internal/mcnt). A "+mcnt" suffix on a serving
+// topology installs it on every shard connection.
+type (
+	// McntFabric owns the per-link endpoints, stream table and credit
+	// accounting of one MCN server's mcnt deployment.
+	McntFabric = mcnt.Fabric
+	// McntParams tunes the transport (window, frame costs, timeouts).
+	McntParams = mcnt.Params
+	// ServeMcntResult is the TCP-vs-mcnt transport A/B on the batched
+	// mcn5 fabric: both curves plus the per-phase attribution.
+	ServeMcntResult = exp.ServeMcntResult
+)
+
+// DefaultMcntParams is the transport tuning the "+mcnt" topologies use.
+func DefaultMcntParams() McntParams { return mcnt.DefaultParams() }
+
+// AttachMcnt installs the mcnt transport on an MCN server: one reliable
+// link per host<->DIMM channel, multiplexing any number of streams. Use
+// Fabric.TransportFor to place endpoints on it.
+func AttachMcnt(k *Kernel, h *Host, pr McntParams) *McntFabric { return mcnt.Attach(k, h, pr) }
+
+// ServeMcnt runs the transport A/B: mcn5+batch with the shard
+// connections on TCP vs on mcnt over the same rate ladder (nil = the
+// default ladders), the qps-at-SLO headline, and the per-phase
+// attribution showing where the TCP stack time went.
+func ServeMcnt(seed uint64, rates []float64) *ServeMcntResult { return exp.ServeMcnt(seed, rates) }
+
+// ServeFaultsMcnt is ServeFaultsBatched on the mcnt transport: the flap
+// eats mcnt frames, go-back-N recovers them, and the fabric's credit
+// accounting must audit to zero drift after the run.
+func ServeFaultsMcnt(seed uint64) *ServeFaultsResult { return exp.ServeFaultsMcnt(seed) }
+
 // Observability: end-to-end request spans, the unified metrics registry
 // and the Perfetto/Chrome trace export (internal/obs).
 type (
@@ -522,6 +557,6 @@ func ServeTracedFaults(seed uint64, topo string, rate float64, sampleN int) *Ser
 }
 
 // ServeAttrib traces every request on each configuration of the serving
-// ladder (mcn0, mcn5, +batch, +batch+admit) and reduces the spans to a
-// paper-style per-phase latency-breakdown table.
+// ladder (mcn0, mcn5, +batch, +batch+admit, +batch+mcnt) and reduces
+// the spans to a paper-style per-phase latency-breakdown table.
 func ServeAttrib(seed uint64) *ServeAttribResult { return exp.ServeAttrib(seed) }

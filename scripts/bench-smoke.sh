@@ -25,6 +25,19 @@ go run ./cmd/mcn-serve -topo mcn5+batch+admit -rate 200000 -seed "$SEED" -json -
 echo ">> mcn-serve -replcheck BENCH_serve.json -seed $SEED"
 go run ./cmd/mcn-serve -replcheck BENCH_serve.json -seed "$SEED"
 
+# mcnt transport guard: one low-rate point on the mcnt topology with the
+# observability plane on must report telemetry byte-identical to the
+# untraced run (the frame correlator observes, never perturbs), covering
+# the transport swap end to end — dial/accept over the fabric, framing,
+# credit returns — at smoke cost.
+echo ">> mcn-serve -topo mcn5+batch+mcnt -rate 200000 -seed $SEED (transport + zero-perturbation guard)"
+go run ./cmd/mcn-serve -topo mcn5+batch+mcnt -rate 200000 -seed "$SEED" -json -out /tmp/mcn-smoke-mcnt-plain.json
+go run ./cmd/mcn-serve -topo mcn5+batch+mcnt -rate 200000 -seed "$SEED" -json \
+	-trace /tmp/mcn-smoke-mcnt-trace.json -out /tmp/mcn-smoke-mcnt-traced.json
+cmp /tmp/mcn-smoke-mcnt-plain.json /tmp/mcn-smoke-mcnt-traced.json
+test -s /tmp/mcn-smoke-mcnt-trace.json
+rm -f /tmp/mcn-smoke-mcnt-plain.json /tmp/mcn-smoke-mcnt-traced.json /tmp/mcn-smoke-mcnt-trace.json
+
 # Trace-overhead guard: the same point with the observability plane on
 # must report byte-identical telemetry (tracing charges no simulated
 # time), and the Perfetto/metrics artifacts must be written and non-empty.

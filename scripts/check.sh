@@ -13,11 +13,12 @@ echo ">> go vet ./..."
 go vet ./...
 
 # Targeted race gate on the serving tier, its admission plane, the
-# replication plane and the observability plane first: these packages
-# carry the concurrency-heavy breaker/loadgen/forwarder/tracer interplay,
-# so a race there fails fast before the full suite spins up.
-echo ">> go test -race ./internal/admit ./internal/serve ./internal/replica ./internal/obs"
-go test -race ./internal/admit ./internal/serve ./internal/replica ./internal/obs
+# replication plane, the observability plane and the mcnt transport
+# first: these packages carry the concurrency-heavy
+# breaker/loadgen/forwarder/tracer/retransmit interplay, so a race there
+# fails fast before the full suite spins up.
+echo ">> go test -race ./internal/admit ./internal/serve ./internal/replica ./internal/obs ./internal/mcnt"
+go test -race ./internal/admit ./internal/serve ./internal/replica ./internal/obs ./internal/mcnt
 
 echo ">> go test -race $* ./..."
 go test -race "$@" ./...

@@ -37,6 +37,7 @@ BEGIN {
     f[pre "/internal/kvstore"] = 83
     f[pre "/internal/mapreduce"] = 89
     f[pre "/internal/mcnfast"] = 89
+    f[pre "/internal/mcnt"] = 85
     f[pre "/internal/memmap"] = 88
     f[pre "/internal/mpi"] = 84
     f[pre "/internal/netstack"] = 84
