@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check test-short cover bench bench-smoke
+.PHONY: build test check test-short cover bench bench-smoke bench-wallclock
 
 build:
 	$(GO) build ./...
@@ -33,3 +33,9 @@ bench:
 # admitted point); also runs as part of `make check`.
 bench-smoke:
 	./scripts/bench-smoke.sh
+
+# Simulator wall-clock benchmark alone: events/sec and requests/sec over
+# the canonical topologies, written to BENCH_wallclock.json.
+bench-wallclock:
+	$(GO) run ./cmd/mcn-serve -wallbench -out BENCH_wallclock.json
+	$(GO) run ./cmd/mcn-serve -wallcheck BENCH_wallclock.json

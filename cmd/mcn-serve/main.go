@@ -147,10 +147,18 @@ func main() {
 	metricsOut := flag.String("metrics", "", "single run: write the metrics-registry snapshot JSON to this file")
 	check := flag.String("check", "", "with -curve: compare the swept points against this BENCH_serve.json and exit non-zero on drift")
 	replCheck := flag.String("replcheck", "", "re-run the replicated DIMM-flap A/B and compare against this BENCH_serve.json's faults section, exiting non-zero on drift")
+	wallBench := flag.Bool("wallbench", false, "measure raw simulator throughput (events/sec) over the canonical topologies and write the BENCH_wallclock.json artifact")
+	wallReps := flag.Int("wallreps", 3, "with -wallbench: best-of-N wall-clock repetitions per point")
+	wallCheck := flag.String("wallcheck", "", "re-run the cheapest wall-bench point per topology and compare against this BENCH_wallclock.json, exiting non-zero on drift")
+	wallTol := flag.Float64("walltol", 0.15, "with -wallcheck: fractional events/sec tolerance (deterministic event counters always compare exactly)")
 	flag.Parse()
 
 	if *replCheck != "" {
 		checkReplFaults(*replCheck, *seed)
+		return
+	}
+	if *wallCheck != "" {
+		checkWallBench(*wallCheck, *wallTol)
 		return
 	}
 
@@ -169,6 +177,10 @@ func main() {
 	var text string
 	var value any
 	switch {
+	case *wallBench:
+		r := mcn.WallBench(*seed, *wallReps)
+		value, text = r, r.String()
+		*jsonOut = *jsonOut || *out != "" // the bench artifact is always JSON
 	case *bench:
 		r := mcn.ServeCurve(*seed, ladder)
 		r.SLONs = *slo
@@ -406,6 +418,34 @@ func kneeQps(c *mcn.ServeTopoCurve, sloNs float64) float64 {
 // conditions and compares the replication half of the faults section:
 // counts exactly (the simulator is deterministic), quantiles to the same
 // float-formatting allowance as checkCurve.
+// checkWallBench re-runs the cheapest wall-bench point per topology from
+// the committed BENCH_wallclock.json and exits non-zero on drift: the
+// deterministic kernel counters must match exactly, the wall-clock event
+// rate within tol.
+func checkWallBench(path string, tol float64) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "-wallcheck: %v\n", err)
+		os.Exit(1)
+	}
+	var stored mcn.WallBenchResult
+	if err := json.Unmarshal(raw, &stored); err != nil {
+		fmt.Fprintf(os.Stderr, "-wallcheck: bad artifact %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	if drift := mcn.WallBenchCheck(&stored, tol); len(drift) > 0 {
+		for _, d := range drift {
+			fmt.Fprintln(os.Stderr, "wallcheck: "+d)
+		}
+		os.Exit(1)
+	}
+	topos := map[string]bool{}
+	for _, p := range stored.Points {
+		topos[p.Topo] = true
+	}
+	fmt.Printf("wallcheck: OK (%d topologies, events/sec tolerance %.0f%%)\n", len(topos), tol*100)
+}
+
 func checkReplFaults(path string, seed uint64) {
 	raw, err := os.ReadFile(path)
 	if err != nil {

@@ -23,10 +23,11 @@ type DimmDriver struct {
 	Opts  Options
 	Costs DriverCosts
 
-	dimm  *Dimm
-	local *dram.Channel // the MCN node's private memory channel
-	port  *HostPort     // the host-side peer (for MAC identity)
-	dma   *DMAEngine
+	dimm   *Dimm
+	getBuf func(int) []byte // bound Stack.GetFrameBuf (avoids a closure per pop)
+	local  *dram.Channel    // the MCN node's private memory channel
+	port   *HostPort        // the host-side peer (for MAC identity)
+	dma    *DMAEngine
 
 	// ChanTap, when set, observes every IRQ-drain pop from this node's
 	// SRAM RX ring.
@@ -73,6 +74,7 @@ func NewDimmDriver(k *sim.Kernel, c *cpu.CPU, s *netstack.Stack, local *dram.Cha
 		dimm: d, local: local, port: port,
 		TraceMinBytes: 1 << 30,
 	}
+	drv.getBuf = s.GetFrameBuf
 	if opts.DMA {
 		drv.dma = NewDMAEngine(k, d.Name+"/mcn-dma")
 	}
@@ -95,10 +97,14 @@ func NewDimmDriver(k *sim.Kernel, c *cpu.CPU, s *netstack.Stack, local *dram.Cha
 				if eth, ok2 := netstack.ParseEth(e.msg); ok2 &&
 					eth.Type != netstack.EtherTypeIPv4 && eth.Type != netstack.EtherTypeARP &&
 					drv.FastRx != nil {
+					// The fast-path transport copies payload bytes it
+					// keeps, so the ring buffer is recyclable after it.
 					drv.FastRx(p, e.msg)
+					drv.Stack.RecycleFrameBuf(e.msg)
 					continue
 				}
 				drv.Stack.RxFrame(p, drv, e.msg)
+				drv.Stack.RecycleFrameBuf(e.msg)
 			}
 		})
 	}
@@ -111,6 +117,7 @@ func NewDimmDriver(k *sim.Kernel, c *cpu.CPU, s *netstack.Stack, local *dram.Cha
 			}
 			drv.CPU.Exec(p, drv.Costs.RxPerMsgCycles)
 			drv.Stack.RxFrame(p, drv, e.msg)
+			drv.Stack.RecycleFrameBuf(e.msg)
 		}
 	})
 	d.SetRxIRQ(func() {
@@ -182,7 +189,7 @@ func (drv *DimmDriver) qdiscService(p *sim.Proc) {
 		if !ok {
 			return
 		}
-		drv.pushTX(p, e.msg, e.st, true)
+		drv.pushTX(p, e.msg, e.st, true, e.pooled)
 	}
 }
 
@@ -204,6 +211,9 @@ func (drv *DimmDriver) Features() netstack.Features {
 		TSO:         drv.Opts.TSO,
 		MaxTSOBytes: 32 << 10,
 		HWChecksum:  drv.Opts.ChecksumBypass,
+		// T2 copies the frame into the SRAM TX ring; the buffer is dead
+		// (and recycled) the moment the push completes.
+		ConsumesTxFrame: true,
 	}
 }
 
@@ -219,20 +229,24 @@ func (drv *DimmDriver) Transmit(p *sim.Proc, f netstack.Frame) {
 	if drv.Opts.DMA {
 		drv.CPU.Exec(p, drv.Costs.DMASetupCycles)
 		drv.dma.Submit(func(dp *sim.Proc) {
-			drv.pushTX(dp, f.Data, st, false)
+			drv.pushTX(dp, f.Data, st, false, f.Pooled)
 		})
 		return
 	}
 	// dev_queue_xmit: enqueue and return; the qdisc service performs
 	// T1-T3 so a receive context sending an ACK can never block on the
 	// ring.
-	drv.qdisc.TryPut(qdiscEntry{msg: f.Data, st: st})
+	drv.qdisc.TryPut(qdiscEntry{msg: f.Data, st: st, pooled: f.Pooled})
 }
 
 // pushTX writes one MCN message into the TX ring; the NETDEV_TX_BUSY
 // retry releases the core between attempts so the receive IRQ path cannot
 // be starved by transmitters spinning on a full ring.
-func (drv *DimmDriver) pushTX(p *sim.Proc, msg []byte, st *McnStamps, onCPU bool) {
+func (drv *DimmDriver) pushTX(p *sim.Proc, msg []byte, st *McnStamps, onCPU, pooled bool) {
+	if pooled {
+		// Every exit below has consumed (copied) or dropped msg.
+		defer drv.Stack.RecycleFrameBuf(msg)
+	}
 	d := drv.dimm
 	if d.InjectChan != nil && d.InjectChan.Message() {
 		return // ECC-detected channel corruption: message discarded
@@ -290,7 +304,7 @@ func (drv *DimmDriver) drainRX(p *sim.Proc) {
 	d := drv.dimm
 	for {
 		for !d.Buf.RX.Empty() {
-			msg := d.Buf.RX.Pop()
+			msg := d.Buf.RX.PopWith(drv.getBuf)
 			if drv.ChanTap != nil {
 				drv.ChanTap.DimmPop(p.Now(), msg)
 			}

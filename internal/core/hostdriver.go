@@ -37,6 +37,7 @@ type HostDriver struct {
 	Costs DriverCosts
 
 	ports    []*HostPort
+	getBuf   func(int) []byte           // bound Stack.GetFrameBuf (avoids a closure per pop)
 	byMAC    map[netstack.MAC]*HostPort // host-side and MCN-side MACs
 	uplink   netstack.NetDev            // conventional NIC for F4
 	timer    *cpu.HRTimer
@@ -84,12 +85,14 @@ func NewHostDriver(k *sim.Kernel, c *cpu.CPU, s *netstack.Stack, opts Options, c
 	if opts.WatchdogInterval == 0 {
 		opts.WatchdogInterval = DefaultWatchdogInterval
 	}
-	return &HostDriver{
+	hd := &HostDriver{
 		K: k, CPU: c, Stack: s, Opts: opts, Costs: costs,
 		byMAC:         make(map[netstack.MAC]*HostPort),
 		dmas:          make(map[int]*DMAEngine),
 		TraceMinBytes: 1 << 30,
 	}
+	hd.getBuf = s.GetFrameBuf
+	return hd
 }
 
 // HostPort is the host-side virtual Ethernet interface for one MCN DIMM.
@@ -126,6 +129,9 @@ type HostPort struct {
 type qdiscEntry struct {
 	msg []byte
 	st  *McnStamps
+	// pooled: msg came from the stack's frame pool and must be recycled
+	// once consumed (pushed into a ring) or dropped.
+	pooled bool
 }
 
 // AddDimm registers an MCN DIMM: hostIP is the host's address on the MCN
@@ -189,14 +195,14 @@ func (hd *HostDriver) bridgeFromUplink(p *sim.Proc, frame []byte) bool {
 		// Copy toward every local MCN node; the local stack still
 		// processes it too (return false).
 		for _, port := range hd.ports {
-			hd.relay(p, port, frame, nil)
+			hd.relay(p, port, frame, nil, false)
 		}
 		hd.BridgedIn++
 		return false
 	}
 	if tgt, ok2 := hd.byMAC[eth.Dst]; ok2 && eth.Dst == tgt.mcnMAC {
 		hd.BridgedIn++
-		hd.relay(p, tgt, frame, nil)
+		hd.relay(p, tgt, frame, nil, false)
 		return true
 	}
 	return false
@@ -312,6 +318,9 @@ func (p *HostPort) Features() netstack.Features {
 		TSO:         p.drv.Opts.TSO,
 		MaxTSOBytes: 32 << 10,
 		HWChecksum:  p.drv.Opts.ChecksumBypass,
+		// T2 copies the frame into the DIMM's RX ring; the buffer is
+		// dead (and recycled) the moment the push completes.
+		ConsumesTxFrame: true,
 	}
 }
 
@@ -324,6 +333,9 @@ func (p *HostPort) Transmit(pr *sim.Proc, f netstack.Frame) {
 		// Fail fast: the DIMM is dead; let the sender's own recovery
 		// (TCP retransmission) find another path or wait out the flap.
 		hd.Recov.CarrierDrops++
+		if f.Pooled {
+			hd.Stack.RecycleFrameBuf(f.Data)
+		}
 		return
 	}
 	var st *McnStamps
@@ -335,13 +347,13 @@ func (p *HostPort) Transmit(pr *sim.Proc, f netstack.Frame) {
 		// Program a descriptor; the channel's DMA engine moves the data.
 		hd.CPU.Exec(pr, hd.Costs.DMASetupCycles)
 		hd.dmas[p.dimm.ChannelIdx].Submit(func(dp *sim.Proc) {
-			p.writeToDimm(dp, f.Data, st, false)
+			p.writeToDimm(dp, f.Data, st, false, f.Pooled)
 		})
 		return
 	}
 	// The CPU performs the copy itself (memcpy_to_mcn) from the qdisc
 	// service context.
-	p.qdisc.TryPut(qdiscEntry{msg: f.Data, st: st})
+	p.qdisc.TryPut(qdiscEntry{msg: f.Data, st: st, pooled: f.Pooled})
 }
 
 func (p *HostPort) qdiscService(pr *sim.Proc) {
@@ -350,7 +362,7 @@ func (p *HostPort) qdiscService(pr *sim.Proc) {
 		if !ok {
 			return
 		}
-		p.writeToDimm(pr, e.msg, e.st, true)
+		p.writeToDimm(pr, e.msg, e.st, true, e.pooled)
 	}
 }
 
@@ -359,8 +371,12 @@ func (p *HostPort) qdiscService(pr *sim.Proc) {
 // NETDEV_TX_BUSY retry releases the core between attempts: a transmitter
 // spinning on a full ring must not starve the drain path that would empty
 // it.
-func (p *HostPort) writeToDimm(pr *sim.Proc, msg []byte, st *McnStamps, onCPU bool) {
+func (p *HostPort) writeToDimm(pr *sim.Proc, msg []byte, st *McnStamps, onCPU, pooled bool) {
 	hd := p.drv
+	if pooled {
+		// Every exit below has consumed (copied) or dropped msg.
+		defer hd.Stack.RecycleFrameBuf(msg)
+	}
 	d := p.dimm
 	if d.InjectChan != nil && d.InjectChan.Message() {
 		return // ECC-detected channel corruption: message discarded
@@ -510,7 +526,7 @@ func (hd *HostDriver) drain(p *sim.Proc, port *HostPort) {
 		}
 		for !d.Buf.TX.Empty() {
 			idle = 0
-			msg := d.Buf.TX.Pop()
+			msg := d.Buf.TX.PopWith(hd.getBuf)
 			var st *McnStamps
 			if len(port.txMeta) > 0 {
 				st = port.txMeta[0]
@@ -528,7 +544,7 @@ func (hd *HostDriver) drain(p *sim.Proc, port *HostPort) {
 			lines := int64(len(msg)/64 + 1)
 			hd.CPU.Exec(p, hd.Costs.InvalidateCyclesPerLine*lines+hd.Costs.RxPerMsgCycles)
 			// R4: hand to the packet forwarding engine.
-			hd.forward(p, port, msg, st)
+			hd.forward(p, port, msg, st, true)
 		}
 		// R5: all consumed; reset tx-poll.
 		d.Buf.TxPoll = false
@@ -567,7 +583,7 @@ func (hd *HostDriver) drainDMA(dp *sim.Proc, port *HostPort) {
 			break // deliver what was copied; the watchdog resumes later
 		}
 		for !d.Buf.TX.Empty() {
-			msg := d.Buf.TX.Pop()
+			msg := d.Buf.TX.PopWith(hd.getBuf)
 			var st *McnStamps
 			if len(port.txMeta) > 0 {
 				st = port.txMeta[0]
@@ -594,7 +610,7 @@ func (hd *HostDriver) drainDMA(dp *sim.Proc, port *HostPort) {
 	hd.CPU.RaiseIRQ("mcn-dma-rx", func(p *sim.Proc) {
 		for _, pk := range pkts {
 			hd.CPU.Exec(p, hd.Costs.RxPerMsgCycles)
-			hd.forward(p, port, pk.msg, pk.st)
+			hd.forward(p, port, pk.msg, pk.st, true)
 		}
 	})
 }
@@ -614,22 +630,31 @@ func (hd *HostDriver) DebugState() string {
 
 // relay hands a frame to another DIMM's transmit machinery without ever
 // blocking the calling (receive) context.
-func (hd *HostDriver) relay(p *sim.Proc, tgt *HostPort, frame []byte, st *McnStamps) {
+func (hd *HostDriver) relay(p *sim.Proc, tgt *HostPort, frame []byte, st *McnStamps, pooled bool) {
 	if hd.Opts.DMA {
 		hd.CPU.Exec(p, hd.Costs.DMASetupCycles)
 		hd.dmas[tgt.dimm.ChannelIdx].Submit(func(dp *sim.Proc) {
-			tgt.writeToDimm(dp, frame, st, false)
+			tgt.writeToDimm(dp, frame, st, false, pooled)
 		})
 		return
 	}
-	tgt.qdisc.TryPut(qdiscEntry{msg: frame, st: st})
+	tgt.qdisc.TryPut(qdiscEntry{msg: frame, st: st, pooled: pooled})
 }
 
-// forward implements the packet forwarding engine rules F1-F4.
-func (hd *HostDriver) forward(p *sim.Proc, src *HostPort, frame []byte, st *McnStamps) {
+// forward implements the packet forwarding engine rules F1-F4. pooled
+// marks frame as recyclable once this function (or the relay machinery it
+// hands off to) is done with it; aliasing dispositions — broadcast fan-out
+// and the conventional NIC — leave the buffer to the garbage collector.
+func (hd *HostDriver) forward(p *sim.Proc, src *HostPort, frame []byte, st *McnStamps, pooled bool) {
 	hd.CPU.Exec(p, hd.Costs.ForwardCycles)
+	recycle := func() {
+		if pooled {
+			hd.Stack.RecycleFrameBuf(frame)
+		}
+	}
 	eth, ok := netstack.ParseEth(frame)
 	if !ok {
+		recycle()
 		return
 	}
 	if eth.Type != netstack.EtherTypeIPv4 && eth.Type != netstack.EtherTypeARP {
@@ -639,32 +664,39 @@ func (hd *HostDriver) forward(p *sim.Proc, src *HostPort, frame []byte, st *McnS
 				st.DriverRxEnd = p.Now()
 				hd.LastTrace = st
 			}
+			// The fast-path transport copies payload bytes it keeps.
 			hd.FastRx(p, src, frame)
+			recycle()
 			return
 		}
 		if tgt, ok2 := hd.byMAC[eth.Dst]; ok2 && tgt != src && eth.Dst == tgt.mcnMAC {
 			hd.RelayedDimm++
-			hd.relay(p, tgt, frame, nil)
+			hd.relay(p, tgt, frame, nil, pooled)
+			return
 		}
+		recycle()
 		return
 	}
 	switch {
 	case eth.Dst == src.hostMAC:
-		// F1: for this host.
+		// F1: for this host. The stack's receive path copies what it
+		// keeps, so the frame is dead when RxFrame returns.
 		hd.DeliveredHost++
 		if st != nil {
 			st.DriverRxEnd = p.Now()
 			hd.LastTrace = st
 		}
 		hd.Stack.RxFrame(p, src, frame)
+		recycle()
 	case eth.Dst.IsBroadcast():
 		// F2: deliver locally, relay to every other MCN node, and send
-		// out the conventional NIC.
+		// out the conventional NIC. The fan-out aliases the buffer, so
+		// it is never recycled.
 		hd.Broadcasts++
 		hd.Stack.RxFrame(p, src, frame)
 		for _, port := range hd.ports {
 			if port != src {
-				hd.relay(p, port, frame, nil)
+				hd.relay(p, port, frame, nil, false)
 			}
 		}
 		if hd.uplink != nil {
@@ -673,6 +705,7 @@ func (hd *HostDriver) forward(p *sim.Proc, src *HostPort, frame []byte, st *McnS
 	default:
 		if tgt, ok2 := hd.byMAC[eth.Dst]; ok2 {
 			if tgt == src {
+				recycle()
 				return // a node talking to itself through us: drop
 			}
 			if eth.Dst == tgt.mcnMAC {
@@ -684,18 +717,22 @@ func (hd *HostDriver) forward(p *sim.Proc, src *HostPort, frame []byte, st *McnS
 					st.DriverRxEnd = p.Now()
 					hd.LastTrace = st
 				}
-				hd.relay(p, tgt, frame, nil)
+				hd.relay(p, tgt, frame, nil, pooled)
 				return
 			}
 			// Addressed to another host-side interface MAC: deliver up.
 			hd.DeliveredHost++
 			hd.Stack.RxFrame(p, tgt, frame)
+			recycle()
 			return
 		}
 		// F4: unknown MAC, hand to the conventional NIC (dev_queue_xmit).
+		// The NIC aliases the frame across the wire; not recyclable.
 		if hd.uplink != nil {
 			hd.SentNIC++
 			hd.uplink.Transmit(p, netstack.Frame{Data: frame})
+		} else {
+			recycle()
 		}
 	}
 }

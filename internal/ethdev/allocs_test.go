@@ -1,0 +1,39 @@
+package ethdev
+
+import (
+	"testing"
+
+	"github.com/mcn-arch/mcn/internal/netstack"
+	"github.com/mcn-arch/mcn/internal/sim"
+)
+
+// TestAllocsNICRoundtrip bounds steady-state allocations for a full NIC
+// traversal: stack TX -> txq -> link -> rxq -> napi poll (burst scratch,
+// GRO) -> stack RX, in both directions (ICMP echo + reply). Descriptor
+// queues, napi burst/frame scratch, the event arena, and proc shells are
+// all pooled, so the remaining allocations are per-packet buffer copies
+// and closures. Generous headroom, but a per-frame leak (for example,
+// losing the napi scratch reuse) blows well past it.
+func TestAllocsNICRoundtrip(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Shutdown()
+	a, _ := twoNodes(k)
+	dst := netstack.IPv4(10, 0, 0, 2)
+	ping := func() {
+		k.Go("ping", func(p *sim.Proc) {
+			if _, ok := a.stack.Ping(p, dst, 56, sim.Second); !ok {
+				t.Error("ping lost")
+			}
+		})
+		k.RunUntil(k.Now().Add(sim.Millisecond))
+	}
+	for i := 0; i < 64; i++ {
+		ping() // warm pools and ARP state
+	}
+	avg := testing.AllocsPerRun(128, ping)
+	t.Logf("allocs per echo roundtrip: %.1f", avg)
+	const ceiling = 30
+	if avg > ceiling {
+		t.Fatalf("NIC echo roundtrip allocates %.1f objects, ceiling %d", avg, ceiling)
+	}
+}

@@ -154,6 +154,12 @@ type NIC struct {
 	txq *sim.Queue[wireFrame]
 	rxq *sim.Queue[wireFrame]
 
+	// Per-NIC scratch reused across napi rounds so draining a burst
+	// allocates nothing: the burst gather and the frame list are rebuilt
+	// in place every interrupt. Only the napi process touches them.
+	burstScratch []wireFrame
+	frameScratch [][]byte
+
 	// Trace captures stage timestamps for data frames of at least
 	// TraceMinBytes; the most recent completed trace is in LastTrace.
 	TraceMinBytes int
@@ -281,7 +287,7 @@ func (n *NIC) napi(p *sim.Proc) {
 		p.Sleep(n.cfg.DMALat)
 		n.cpu.Exec(p, n.cpu.Costs.IRQEntryCycles+n.cpu.Costs.IRQExitCycles)
 
-		burst := []wireFrame{wf}
+		burst := append(n.burstScratch[:0], wf)
 		for {
 			more, ok := n.rxq.TryGet()
 			if !ok {
@@ -292,8 +298,8 @@ func (n *NIC) napi(p *sim.Proc) {
 		// DMA all frames of the burst into memory (pipelined: memory
 		// bandwidth is charged, per-frame PCIe latency is hidden).
 		var stamps []*Stamps
-		frames := make([][]byte, len(burst))
-		for i, b := range burst {
+		frames := n.frameScratch[:0]
+		for _, b := range burst {
 			if n.mem != nil {
 				n.mem.Write(p, 0x4800_0000, len(b.data))
 			}
@@ -301,8 +307,10 @@ func (n *NIC) napi(p *sim.Proc) {
 				b.stamps.DMARxEnd = p.Now()
 				stamps = append(stamps, b.stamps)
 			}
-			frames[i] = b.data
+			frames = append(frames, b.data)
 		}
+		n.burstScratch = burst
+		n.frameScratch = frames
 		if n.cfg.LRO {
 			frames = netstack.CoalesceTCP(frames, 64<<10)
 		}

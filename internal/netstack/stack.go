@@ -19,6 +19,11 @@ type Features struct {
 	// HWChecksum: the device computes/verifies TCP checksums in hardware,
 	// so the stack charges no CPU cycles for them on this interface.
 	HWChecksum bool
+	// ConsumesTxFrame: Transmit (or its queued continuation) copies the
+	// frame bytes out — into an SRAM ring, for the MCN drivers — and
+	// never aliases them afterwards. The stack then allocates TX frames
+	// from its recycling pool and the device returns them when done.
+	ConsumesTxFrame bool
 }
 
 // Frame is what the stack hands a device: the wire bytes plus offload
@@ -28,6 +33,11 @@ type Frame struct {
 	// TSOSegSize is nonzero when Data carries one jumbo TCP chunk that
 	// the device must segment into MSS-sized wire packets.
 	TSOSegSize int
+	// Pooled transfers ownership of Data: a device that consumes the
+	// frame must hand the buffer back via Stack.RecycleFrameBuf once the
+	// bytes are copied out (or the frame is dropped). Devices that alias
+	// frames (the conventional NIC path) never see Pooled frames.
+	Pooled bool
 }
 
 // PacketTap observes frames at the device boundary (tcpdump).
@@ -101,6 +111,7 @@ type Stack struct {
 	Bridge func(p *sim.Proc, dev NetDev, frame []byte) bool
 
 	ifaces []*Iface
+	pool   framePool
 
 	// Transport state.
 	conns     map[fourTuple]*TCPConn
@@ -125,6 +136,71 @@ type Stack struct {
 type echoWaiter struct {
 	sig  *sim.Signal
 	done bool
+}
+
+// framePool recycles frame buffers in size-class free lists. The kernel
+// guarantees exactly one goroutine executes at any instant, so the lists
+// need no synchronization. Buffers are handed out with stale contents;
+// every Get caller overwrites all n bytes.
+type framePool struct {
+	class [4][][]byte
+}
+
+// Frame size-class upper bounds: pure ACK/control segments, standard
+// Ethernet MTU frames, jumbo frames, and unbounded (TSO chunks).
+const (
+	frameClassSmall = 128
+	frameClassMTU   = 2048
+	frameClassJumbo = 16 << 10
+)
+
+func frameClass(n int) int {
+	switch {
+	case n <= frameClassSmall:
+		return 0
+	case n <= frameClassMTU:
+		return 1
+	case n <= frameClassJumbo:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// GetFrameBuf returns an n-byte buffer from the pool (or a fresh one).
+// Contents are stale: the caller must overwrite every byte.
+func (s *Stack) GetFrameBuf(n int) []byte {
+	c := frameClass(n)
+	list := s.pool.class[c]
+	if ln := len(list); ln > 0 {
+		b := list[ln-1]
+		list[ln-1] = nil
+		s.pool.class[c] = list[:ln-1]
+		if cap(b) >= n {
+			return b[:n]
+		}
+		// Only the unbounded class can hold an undersized buffer; let
+		// the GC have it and allocate at the requested size.
+	}
+	switch c {
+	case 0:
+		return make([]byte, n, frameClassSmall)
+	case 1:
+		return make([]byte, n, frameClassMTU)
+	case 2:
+		return make([]byte, n, frameClassJumbo)
+	}
+	return make([]byte, n)
+}
+
+// RecycleFrameBuf returns a frame buffer to the pool. The caller must be
+// the buffer's unique owner: nothing may hold a slice of it afterwards.
+func (s *Stack) RecycleFrameBuf(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	c := frameClass(cap(b))
+	s.pool.class[c] = append(s.pool.class[c], b)
 }
 
 // NewStack creates a stack on the given CPU.
@@ -254,7 +330,7 @@ func (s *Stack) sendIP(p *sim.Proc, proto uint8, src, dst IP, payload []byte, ts
 	// the receive path in the middle of the sender's critical section.
 	if s.isLocal(dst) {
 		s.CPU.Exec(p, s.Costs.IPTxCycles)
-		pkt := make([]byte, IPv4HeaderBytes+len(payload))
+		pkt := s.GetFrameBuf(IPv4HeaderBytes + len(payload))
 		s.ipID++
 		PutIPv4(pkt, IPv4Header{TotalLen: uint16(len(pkt)), ID: s.ipID, TTL: 64, Proto: proto, Src: src, Dst: dst})
 		copy(pkt[IPv4HeaderBytes:], payload)
@@ -267,7 +343,12 @@ func (s *Stack) sendIP(p *sim.Proc, proto uint8, src, dst IP, payload []byte, ts
 			copy(frame[EthHeaderBytes:], pkt)
 			s.Tap.Packet(s.K.Now(), "lo", "lo", frame)
 		}
-		s.K.Go(s.Host+"/lo-rx", func(rp *sim.Proc) { s.deliverIP(rp, pkt) })
+		s.K.Go(s.Host+"/lo-rx", func(rp *sim.Proc) {
+			s.deliverIP(rp, pkt)
+			// The receive path copies what it keeps (rcvBuf, frag
+			// buffers, app buffers), so the packet dies here.
+			s.RecycleFrameBuf(pkt)
+		})
 		return nil
 	}
 
@@ -293,7 +374,18 @@ func (s *Stack) sendIP(p *sim.Proc, proto uint8, src, dst IP, payload []byte, ts
 		return nil
 	}
 
-	frame := make([]byte, EthHeaderBytes+IPv4HeaderBytes+len(payload))
+	// Devices that consume TX frames (the MCN drivers copy them into an
+	// SRAM ring) take pooled buffers and recycle them; aliasing devices
+	// (the conventional NIC hands the same bytes to the receiver) get
+	// garbage-collected ones.
+	pooled := ifc.Dev.Features().ConsumesTxFrame
+	size := EthHeaderBytes + IPv4HeaderBytes + len(payload)
+	var frame []byte
+	if pooled {
+		frame = s.GetFrameBuf(size)
+	} else {
+		frame = make([]byte, size)
+	}
 	PutEth(frame, EthHeader{Dst: dstMAC, Src: ifc.Dev.MAC(), Type: EtherTypeIPv4})
 	PutIPv4(frame[EthHeaderBytes:], IPv4Header{
 		TotalLen: uint16(IPv4HeaderBytes + len(payload)),
@@ -305,7 +397,7 @@ func (s *Stack) sendIP(p *sim.Proc, proto uint8, src, dst IP, payload []byte, ts
 	if s.Tap != nil {
 		s.Tap.Packet(s.K.Now(), "tx", ifc.Dev.Name(), frame)
 	}
-	ifc.Dev.Transmit(p, Frame{Data: frame, TSOSegSize: tsoSeg})
+	ifc.Dev.Transmit(p, Frame{Data: frame, TSOSegSize: tsoSeg, Pooled: pooled})
 	return nil
 }
 

@@ -516,7 +516,12 @@ func (c *TCPConn) sendPayload(p *sim.Proc, flags uint8, seq, ack uint32, payload
 		panic(fmt.Sprintf("netstack(%s) %s: emitting seq %d..%d beyond sndMax %d",
 			c.s.Host, c.tuple, seq, seq+uint32(len(payload)), c.sndMax))
 	}
-	seg := make([]byte, TCPHeaderBytes+len(payload))
+	// The segment buffer comes from the stack's frame pool: sendIP copies
+	// it into the wire frame (or loopback packet) before returning, so it
+	// can go straight back. A per-conn scratch would not do — two procs
+	// of the same connection can both be parked inside sendIP (CPU charge,
+	// ARP resolution) before their copies happen.
+	seg := c.s.GetFrameBuf(TCPHeaderBytes + len(payload))
 	wnd := uint32(tcpRcvBufCap - len(c.rcvBuf))
 	c.lastAdvWnd = wnd
 	PutTCP(seg, TCPHeader{
@@ -525,6 +530,7 @@ func (c *TCPConn) sendPayload(p *sim.Proc, flags uint8, seq, ack uint32, payload
 	}, c.tuple.lip, c.tuple.rip, payload)
 	copy(seg[TCPHeaderBytes:], payload)
 	_ = c.s.sendIP(p, ProtoTCP, c.tuple.lip, c.tuple.rip, seg, tsoSeg)
+	c.s.RecycleFrameBuf(seg)
 }
 
 func (c *TCPConn) currentRTO() sim.Duration {

@@ -9,14 +9,23 @@ import "encoding/binary"
 // operates on.
 
 // Checksum computes the Internet checksum (RFC 1071) over b.
-func Checksum(b []byte) uint16 {
-	var sum uint32
+func Checksum(b []byte) uint16 { return checksumFold(checksumAdd(0, b)) }
+
+// checksumAdd accumulates b into a running one's-complement sum. Parts of
+// a logically concatenated buffer may be summed separately as long as each
+// part starts at an even offset of the whole (RFC 1071 Sec. 2(A)).
+func checksumAdd(sum uint32, b []byte) uint32 {
 	for i := 0; i+1 < len(b); i += 2 {
 		sum += uint32(binary.BigEndian.Uint16(b[i:]))
 	}
 	if len(b)%2 == 1 {
 		sum += uint32(b[len(b)-1]) << 8
 	}
+	return sum
+}
+
+// checksumFold folds the carries and complements the result.
+func checksumFold(sum uint32) uint16 {
 	for sum>>16 != 0 {
 		sum = sum&0xffff + sum>>16
 	}
@@ -260,27 +269,37 @@ func ParseTCP(b []byte) (TCPHeader, bool) {
 	}, true
 }
 
-func tcpChecksum(hdr []byte, src, dst IP, payload []byte) uint16 {
-	pseudo := make([]byte, 12, 12+len(hdr)+len(payload)+1)
-	copy(pseudo[0:4], src[:])
-	copy(pseudo[4:8], dst[:])
-	pseudo[9] = ProtoTCP
-	binary.BigEndian.PutUint16(pseudo[10:12], uint16(len(hdr)+len(payload)))
-	pseudo = append(pseudo, hdr...)
-	pseudo = append(pseudo, payload...)
-	return Checksum(pseudo)
+// tcpPseudoSum seeds a checksum with the IPv4 pseudo-header fields. The
+// 12-byte pseudo-header is never materialized: its words are added to the
+// running sum directly.
+func tcpPseudoSum(src, dst IP, tcpLen int) uint32 {
+	sum := uint32(binary.BigEndian.Uint16(src[0:2])) + uint32(binary.BigEndian.Uint16(src[2:4]))
+	sum += uint32(binary.BigEndian.Uint16(dst[0:2])) + uint32(binary.BigEndian.Uint16(dst[2:4]))
+	return sum + uint32(ProtoTCP) + uint32(uint16(tcpLen))
 }
 
-// VerifyTCPChecksum validates a TCP segment against the pseudo-header.
+// tcpChecksum computes the TCP checksum over the pseudo-header, the header
+// (checksum field zeroed) and the payload, without assembling them into one
+// buffer. hdr must be even-length so the payload stays word-aligned.
+func tcpChecksum(hdr []byte, src, dst IP, payload []byte) uint16 {
+	sum := tcpPseudoSum(src, dst, len(hdr)+len(payload))
+	sum = checksumAdd(sum, hdr)
+	sum = checksumAdd(sum, payload)
+	return checksumFold(sum)
+}
+
+// VerifyTCPChecksum validates a TCP segment against the pseudo-header. The
+// stored checksum field (bytes 16-17, skipped below) is excluded from the
+// sum exactly as if it were zeroed, with no header copy.
 func VerifyTCPChecksum(seg []byte, src, dst IP) bool {
 	if len(seg) < TCPHeaderBytes {
 		return false
 	}
-	hdr := make([]byte, TCPHeaderBytes)
-	copy(hdr, seg[:TCPHeaderBytes])
-	hdr[16], hdr[17] = 0, 0
-	want := tcpChecksum(hdr, src, dst, seg[TCPHeaderBytes:])
-	return want == binary.BigEndian.Uint16(seg[16:18])
+	sum := tcpPseudoSum(src, dst, len(seg))
+	sum = checksumAdd(sum, seg[:16])
+	sum = checksumAdd(sum, seg[18:TCPHeaderBytes])
+	sum = checksumAdd(sum, seg[TCPHeaderBytes:])
+	return checksumFold(sum) == binary.BigEndian.Uint16(seg[16:18])
 }
 
 // SeqLT and friends implement RFC 793 modular sequence comparison.

@@ -1,0 +1,51 @@
+package sim
+
+import "testing"
+
+// Regression for the ghost-event leak: Timer.Stop and Timer.Reset used to
+// leave the superseded event in the heap (skipped lazily at dispatch), so
+// a timer re-armed N times held N queue entries. Eager unlinking must keep
+// the pending count at one entry per armed timer no matter how much churn
+// the timer has seen.
+func TestTimerChurnLeavesNoGhosts(t *testing.T) {
+	k := NewKernel()
+	defer k.Shutdown()
+
+	tm := k.NewTimer(func() {})
+	for i := 0; i < 10000; i++ {
+		tm.Reset(Duration(1000 + i))
+		if i%3 == 0 {
+			tm.Stop()
+		}
+	}
+	// Re-arm once more: exactly one event may be pending, not one per cycle.
+	tm.Reset(2500)
+	if got := k.PendingEvents(); got != 1 {
+		t.Fatalf("pending events after 10000 reset/stop cycles = %d, want 1", got)
+	}
+	tm.Stop()
+	if got := k.PendingEvents(); got != 0 {
+		t.Fatalf("pending events after final stop = %d, want 0", got)
+	}
+
+	// Many timers: each contributes at most one entry regardless of churn.
+	timers := make([]*Timer, 64)
+	for i := range timers {
+		timers[i] = k.NewTimer(func() {})
+	}
+	for round := 0; round < 100; round++ {
+		for i, tmr := range timers {
+			tmr.Reset(Duration(500 + round*len(timers) + i))
+		}
+	}
+	if got := k.PendingEvents(); got != len(timers) {
+		t.Fatalf("pending events with %d churned timers = %d, want %d",
+			len(timers), got, len(timers))
+	}
+	for _, tmr := range timers {
+		tmr.Stop()
+	}
+	if got := k.PendingEvents(); got != 0 {
+		t.Fatalf("pending events after stopping all timers = %d, want 0", got)
+	}
+}

@@ -1,54 +1,49 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
+	"runtime/debug"
 )
 
 // Kernel is the discrete-event simulation engine. Create one with NewKernel,
 // start processes with Go, then call Run (or RunUntil / RunFor).
 //
 // The kernel and all processes cooperate through a strict handoff protocol:
-// at any instant exactly one goroutine — either the kernel's event loop or a
-// single process — is runnable. All simulation state may therefore be
-// accessed without locks.
+// at any instant exactly one goroutine is runnable, and that goroutine owns
+// both the simulation state and the event loop itself. When a process
+// parks, its goroutine keeps popping events in place; control moves to
+// another goroutine only when an event wakes a process hosted elsewhere
+// (one channel send per switch), and a process whose own wake comes up
+// next resumes with no channel traffic at all. All simulation state may
+// therefore be accessed without locks.
 type Kernel struct {
-	now    Time
-	events eventHeap
-	seq    uint64
-	yield  chan struct{}
-	live   map[*Proc]struct{}
-	inRun  bool
-	failed any // panic value propagated from a process
+	now     Time
+	q       eventQueue
+	seq     uint64
+	limit   Time          // horizon of the Run in progress
+	runDone chan struct{} // loop-termination token back to the Run caller
+	yield   chan struct{} // shutdown acknowledgement from dying processes
+	live    map[*Proc]struct{}
+	pool    []*shell
+	inRun   bool
+	failed  any // panic value propagated from a process
+	stats   KernelStats
 }
 
-type event struct {
-	at     Time
-	seq    uint64
-	fn     func()
-	proc   *Proc
-	gen    uint64 // wait generation the wake targets (proc events only)
-	reason WakeReason
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+// KernelStats counts scheduler work since the kernel was created. Every
+// counter is deterministic for a fixed seed and topology: the values
+// depend only on the simulated event stream, never on wall-clock time or
+// the Go scheduler, so artifact gates may compare them exactly.
+type KernelStats struct {
+	Pushes      uint64 // events scheduled (callbacks, wakes, timer arms)
+	WheelPushes uint64 // pushes that landed in a timer-wheel level
+	Pops        uint64 // events popped and dispatched (incl. stale wakes)
+	StaleWakes  uint64 // wake events dropped by the generation check
+	ProcWakes   uint64 // wakes delivered to a process
+	SelfWakes   uint64 // wakes consumed by the running goroutine directly
+	Switches    uint64 // goroutine-to-goroutine control transfers
+	Spawns      uint64 // processes created with Go
+	Shells      uint64 // goroutines actually created (pool misses)
 }
 
 // WakeReason tells a parked process why it resumed.
@@ -65,37 +60,58 @@ const (
 
 // NewKernel returns an empty simulation at time zero.
 func NewKernel() *Kernel {
-	return &Kernel{
-		yield: make(chan struct{}),
-		live:  make(map[*Proc]struct{}),
+	k := &Kernel{
+		runDone: make(chan struct{}),
+		yield:   make(chan struct{}),
+		live:    make(map[*Proc]struct{}),
 	}
+	k.q.init()
+	return k
 }
 
 // Now returns the current simulated time.
 func (k *Kernel) Now() Time { return k.now }
+
+// Stats returns the scheduler work counters accumulated so far.
+func (k *Kernel) Stats() KernelStats { return k.stats }
+
+// PendingEvents returns the number of scheduled events that have not yet
+// fired. Cancelled timers do not count: Timer.Stop and Timer.Reset unlink
+// their event eagerly instead of leaving a ghost in the queue.
+func (k *Kernel) PendingEvents() int { return k.q.size }
 
 // At schedules fn to run in kernel context at time t (clamped to now).
 func (k *Kernel) At(t Time, fn func()) {
 	if t < k.now {
 		t = k.now
 	}
-	k.push(&event{at: t, fn: fn})
+	idx := k.q.alloc()
+	e := &k.q.arena[idx]
+	e.at, e.seq, e.fn = t, k.seq, fn
+	k.seq++
+	k.insert(idx)
 }
 
 // After schedules fn to run in kernel context after delay d.
 func (k *Kernel) After(d Duration, fn func()) { k.At(k.now.Add(d), fn) }
 
-func (k *Kernel) push(e *event) {
-	e.seq = k.seq
-	k.seq++
-	heap.Push(&k.events, e)
-}
-
 func (k *Kernel) scheduleWake(t Time, p *Proc, gen uint64, reason WakeReason) {
 	if t < k.now {
 		t = k.now
 	}
-	k.push(&event{at: t, proc: p, gen: gen, reason: reason})
+	idx := k.q.alloc()
+	e := &k.q.arena[idx]
+	e.at, e.seq = t, k.seq
+	e.proc, e.gen, e.reason = p, gen, reason
+	k.seq++
+	k.insert(idx)
+}
+
+func (k *Kernel) insert(idx int32) {
+	k.stats.Pushes++
+	if k.q.insert(idx, k.now) {
+		k.stats.WheelPushes++
+	}
 }
 
 // Run executes events until none remain, then returns the final simulated
@@ -115,29 +131,10 @@ func (k *Kernel) RunUntil(limit Time) Time {
 	}
 	k.inRun = true
 	defer func() { k.inRun = false }()
-	for len(k.events) > 0 {
-		e := k.events[0]
-		if e.at > limit {
-			k.now = limit
-			return k.now
-		}
-		heap.Pop(&k.events)
-		k.now = e.at
-		switch {
-		case e.proc != nil:
-			p := e.proc
-			if !p.waiting || p.waitGen != e.gen {
-				continue // stale wake (e.g. signal raced a timeout)
-			}
-			p.waiting = false
-			p.reason = e.reason
-			k.handoff(p)
-		case e.fn != nil:
-			e.fn()
-		}
-		if k.failed != nil {
-			panic(k.failed)
-		}
+	k.limit = limit
+	k.loop(nil)
+	if k.failed != nil {
+		panic(k.failed)
 	}
 	if k.now < limit && limit != MaxTime {
 		k.now = limit
@@ -145,74 +142,165 @@ func (k *Kernel) RunUntil(limit Time) Time {
 	return k.now
 }
 
-// handoff transfers control to p and blocks until p yields back.
-func (k *Kernel) handoff(p *Proc) {
-	p.resume <- wake{reason: p.reason}
-	<-k.yield
+// loop is the event loop, runnable from two contexts: the Run caller
+// (self == nil) and any process goroutine that currently owns the
+// execution token (self is its shell). It pops events until the run
+// terminates or a popped wake belongs to a process hosted on another
+// goroutine, in which case the token moves there with a single channel
+// send. For a process context the return value is the wake that resumes
+// self's occupant — delivered with no channel round-trip at all when the
+// occupant's own wake is the next event.
+func (k *Kernel) loop(self *shell) wake {
+	for {
+		idx := k.q.peek(k.now)
+		if idx == nilIdx {
+			break
+		}
+		e := &k.q.arena[idx]
+		if e.at > k.limit {
+			break
+		}
+		at := e.at
+		fn, p, tm := e.fn, e.proc, e.timer
+		gen, reason := e.gen, e.reason
+		k.q.remove(idx)
+		k.q.release(idx)
+		k.now = at
+		k.stats.Pops++
+		switch {
+		case p != nil:
+			if !p.waiting || p.waitGen != gen {
+				k.stats.StaleWakes++
+				continue // stale wake (e.g. signal raced a timeout)
+			}
+			p.waiting = false
+			k.stats.ProcWakes++
+			w := wake{reason: reason}
+			if self != nil && p.shell == self {
+				// The next runnable process already lives on this
+				// goroutine: resume it in place.
+				k.stats.SelfWakes++
+				return w
+			}
+			k.stats.Switches++
+			p.shell.resume <- w
+			if self == nil {
+				<-k.runDone
+				return wake{}
+			}
+			return <-self.resume
+		case tm != nil:
+			tm.ev = nilIdx
+			k.protect(self, tm.fn)
+		default:
+			k.protect(self, fn)
+		}
+		if k.failed != nil {
+			break
+		}
+	}
+	// The run is over (limit reached, queue drained, or a process
+	// failed). Hand the token back to the Run caller.
+	if self == nil {
+		return wake{}
+	}
+	k.runDone <- struct{}{}
+	return <-self.resume
+}
+
+// protect runs an event callback. In the Run caller's context a panic
+// propagates as before; on a process goroutine it must not unwind the
+// host process's own stack, so it is captured into k.failed and
+// re-raised by RunUntil.
+func (k *Kernel) protect(self *shell, fn func()) {
+	if self == nil {
+		fn()
+		return
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			k.failed = fmt.Sprintf("event callback panicked: %v\n%s", r, debug.Stack())
+		}
+	}()
+	fn()
 }
 
 // Idle reports whether no events are pending.
-func (k *Kernel) Idle() bool { return len(k.events) == 0 }
+func (k *Kernel) Idle() bool { return k.q.size == 0 }
 
 // LiveProcs returns the number of processes that have been created and not
 // yet finished.
 func (k *Kernel) LiveProcs() int { return len(k.live) }
 
-// Shutdown aborts every live process so its goroutine exits, and discards
-// all pending events. The kernel must not be running. It is safe to call
-// Shutdown more than once; after Shutdown the kernel must not be reused.
+// Shutdown aborts every live process so its goroutine exits, releases the
+// pooled idle goroutines, and discards all pending events. The kernel must
+// not be running. It is safe to call Shutdown more than once; after
+// Shutdown the kernel must not be reused.
 func (k *Kernel) Shutdown() {
-	k.events = nil
+	k.q.init()
 	for p := range k.live {
 		p.aborted = true
-		p.resume <- wake{aborted: true}
+		p.shell.resume <- wake{aborted: true}
 		<-k.yield
 	}
 	if len(k.live) != 0 {
 		panic(fmt.Sprintf("sim: %d processes survived shutdown", len(k.live)))
 	}
+	for _, sh := range k.pool {
+		sh.resume <- wake{aborted: true}
+	}
+	k.pool = nil
 }
 
 // A Timer invokes a callback at a future simulated time unless stopped or
-// reset first.
+// reset first. Stop and Reset unlink the scheduled event immediately, so a
+// churning timer (RTO backoff, watchdogs) holds at most one queue entry
+// and cancelled firings cost nothing at dispatch time.
 type Timer struct {
 	k       *Kernel
 	fn      func()
-	gen     uint64
-	pending bool
+	ev      int32 // arena index of the armed event, nilIdx when idle
 	expires Time
 }
 
 // NewTimer returns a stopped timer that will call fn in kernel context when
 // it fires.
-func (k *Kernel) NewTimer(fn func()) *Timer { return &Timer{k: k, fn: fn} }
+func (k *Kernel) NewTimer(fn func()) *Timer { return &Timer{k: k, fn: fn, ev: nilIdx} }
 
 // Reset (re)arms the timer to fire after d. Any previously scheduled firing
 // is cancelled.
 func (t *Timer) Reset(d Duration) {
-	t.gen++
-	t.pending = true
-	t.expires = t.k.now.Add(d)
-	gen := t.gen
-	t.k.At(t.expires, func() {
-		if !t.pending || t.gen != gen {
-			return
-		}
-		t.pending = false
-		t.fn()
-	})
+	k := t.k
+	if t.ev != nilIdx {
+		k.q.remove(t.ev)
+		k.q.release(t.ev)
+	}
+	t.expires = k.now.Add(d)
+	at := t.expires
+	if at < k.now {
+		at = k.now
+	}
+	idx := k.q.alloc()
+	e := &k.q.arena[idx]
+	e.at, e.seq, e.timer = at, k.seq, t
+	k.seq++
+	k.insert(idx)
+	t.ev = idx
 }
 
 // Stop cancels any pending firing. It reports whether a firing was pending.
 func (t *Timer) Stop() bool {
-	was := t.pending
-	t.pending = false
-	t.gen++
-	return was
+	if t.ev == nilIdx {
+		return false
+	}
+	t.k.q.remove(t.ev)
+	t.k.q.release(t.ev)
+	t.ev = nilIdx
+	return true
 }
 
 // Pending reports whether the timer is armed.
-func (t *Timer) Pending() bool { return t.pending }
+func (t *Timer) Pending() bool { return t.ev != nilIdx }
 
 // Expires returns the time the timer will fire if it is pending.
 func (t *Timer) Expires() Time { return t.expires }

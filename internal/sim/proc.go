@@ -12,10 +12,9 @@ import (
 type Proc struct {
 	k       *Kernel
 	name    string
-	resume  chan wake
+	shell   *shell
 	waiting bool
 	waitGen uint64
-	reason  WakeReason
 	aborted bool
 	done    bool
 }
@@ -26,40 +25,92 @@ type wake struct {
 }
 
 // procAbort is panicked inside an aborted process to unwind it; the wrapper
-// installed by Kernel.Go recovers it.
+// installed by the shell recovers it.
 type procAbort struct{}
+
+// A shell is a reusable goroutine that hosts one process body at a time.
+// Short-lived processes (per-packet drains, IRQ handlers) are the common
+// case in this simulator, so finished shells park in the kernel's pool
+// and the next Go reuses them instead of spawning a goroutine.
+type shell struct {
+	k      *Kernel
+	resume chan wake
+	p      *Proc
+	body   func(*Proc)
+}
 
 // Go creates a process named name running fn and schedules it to start at
 // the current simulated time. It may be called before Run or from within any
 // running process or event callback.
 func (k *Kernel) Go(name string, fn func(p *Proc)) *Proc {
-	p := &Proc{k: k, name: name, resume: make(chan wake)}
+	p := &Proc{k: k, name: name}
+	var sh *shell
+	if n := len(k.pool); n > 0 {
+		sh = k.pool[n-1]
+		k.pool[n-1] = nil
+		k.pool = k.pool[:n-1]
+	} else {
+		sh = &shell{k: k, resume: make(chan wake)}
+		k.stats.Shells++
+		go sh.run()
+	}
+	sh.p, sh.body = p, fn
+	p.shell = sh
 	k.live[p] = struct{}{}
-	go func() {
-		w := <-p.resume
-		if !w.aborted {
-			func() {
-				defer func() {
-					if r := recover(); r != nil {
-						if _, isAbort := r.(procAbort); !isAbort {
-							// Preserve the origin stack: the panic is
-							// re-raised from the kernel's Run loop,
-							// which would otherwise hide it.
-							k.failed = fmt.Sprintf("process %q panicked: %v\n%s", p.name, r, debug.Stack())
-						}
-					}
-				}()
-				fn(p)
-			}()
-		}
-		p.done = true
-		delete(k.live, p)
-		k.yield <- struct{}{}
-	}()
+	k.stats.Spawns++
 	// The start is delivered like a wake so it obeys event ordering.
 	p.waiting = true
 	k.scheduleWake(k.now, p, p.waitGen, WakeDone)
 	return p
+}
+
+// run is the shell goroutine: receive the execution token, run the
+// assigned body, then keep driving the event loop in place until the
+// token moves on; park in the pool awaiting the next body.
+func (sh *shell) run() {
+	w := <-sh.resume
+	for {
+		if w.aborted {
+			// Shutdown: either our occupant was aborted before its body
+			// ever started, or the shell was idle in the pool.
+			if p := sh.p; p != nil {
+				p.done = true
+				delete(sh.k.live, p)
+				sh.k.yield <- struct{}{}
+			}
+			return
+		}
+		p := sh.p
+		aborted := false
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, isAbort := r.(procAbort); isAbort {
+						aborted = true
+					} else {
+						// Preserve the origin stack: the panic is
+						// re-raised from the kernel's Run loop, which
+						// would otherwise hide it.
+						sh.k.failed = fmt.Sprintf("process %q panicked: %v\n%s", p.name, r, debug.Stack())
+					}
+				}
+			}()
+			sh.body(p)
+		}()
+		sh.body = nil
+		sh.p = nil
+		p.done = true
+		delete(sh.k.live, p)
+		if aborted {
+			sh.k.yield <- struct{}{}
+			return
+		}
+		// Normal completion mid-run: this goroutine still owns the
+		// execution token, so pool the shell and keep popping events.
+		// loop returns the start token for the shell's next occupant.
+		sh.k.pool = append(sh.k.pool, sh)
+		w = sh.k.loop(sh)
+	}
 }
 
 // Name returns the process name given to Go.
@@ -82,11 +133,11 @@ func (p *Proc) prepareWait() uint64 {
 	return p.waitGen
 }
 
-// park yields to the kernel and blocks until a wake for the current
-// generation arrives. It returns the reason supplied by the waker.
+// park blocks until a wake for the current generation arrives, running
+// the kernel's event loop on this goroutine in the meantime. It returns
+// the reason supplied by the waker.
 func (p *Proc) park() WakeReason {
-	p.k.yield <- struct{}{}
-	w := <-p.resume
+	w := p.k.loop(p.shell)
 	if w.aborted || p.aborted {
 		panic(procAbort{})
 	}

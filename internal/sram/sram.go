@@ -85,22 +85,32 @@ func (r *Ring) Push(packet []byte) bool {
 
 // Peek returns the payload of the oldest message without consuming it, or
 // nil if the ring is empty.
-func (r *Ring) Peek() []byte {
+func (r *Ring) Peek() []byte { return r.peekWith(stdAlloc) }
+
+func stdAlloc(n int) []byte { return make([]byte, n) }
+
+func (r *Ring) peekWith(alloc func(int) []byte) []byte {
 	if r.Empty() {
 		return nil
 	}
 	var hdr [HeaderBytes]byte
 	r.read(r.start, hdr[:])
 	n := int(binary.LittleEndian.Uint32(hdr[:]))
-	out := make([]byte, n)
+	out := alloc(n)
 	r.read((r.start+HeaderBytes)%len(r.data), out)
 	return out
 }
 
 // Pop removes and returns the oldest message payload, or nil if empty.
 // This is the receive side's R2-R5 walk: read at start, advance start.
-func (r *Ring) Pop() []byte {
-	out := r.Peek()
+func (r *Ring) Pop() []byte { return r.PopWith(stdAlloc) }
+
+// PopWith is Pop with a caller-supplied buffer allocator — the seam the
+// drivers use to land popped messages in recycled frame buffers instead
+// of fresh garbage-collected ones. alloc(n) must return a buffer of
+// length exactly n; every byte is overwritten.
+func (r *Ring) PopWith(alloc func(int) []byte) []byte {
+	out := r.peekWith(alloc)
 	if out == nil {
 		return nil
 	}

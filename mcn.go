@@ -474,6 +474,26 @@ func ServeFaultsRepl(seed uint64) *ServeFaultsResult { return exp.ServeFaultsRep
 // post-run replica convergence.
 func ServeRepl(seed uint64) *ServeReplResult { return exp.ServeRepl(seed) }
 
+// WallBenchPoint is one wall-clock measurement of the simulator itself;
+// WallBenchResult is the BENCH_wallclock.json artifact shape.
+type (
+	WallBenchPoint  = exp.WallBenchPoint
+	WallBenchResult = exp.WallBenchResult
+)
+
+// WallBench measures raw simulator throughput (events/sec, requests/sec)
+// over the canonical serving topologies and rate ladders. The per-point
+// kernel counters are deterministic for the seed; only wall seconds and
+// the derived rates vary with hardware. reps is best-of-N per point.
+func WallBench(seed uint64, reps int) *WallBenchResult { return exp.WallBench(seed, reps) }
+
+// WallBenchCheck re-runs the cheapest point per topology from a stored
+// BENCH_wallclock.json and reports drift: deterministic kernel counters
+// must match exactly, events/sec must be within tol of the artifact.
+func WallBenchCheck(stored *WallBenchResult, tol float64) []string {
+	return exp.WallBenchCheck(stored, tol)
+}
+
 // mcnt: the MCN-native reliable transport — credit-based sliding-window
 // flow control with go-back-N resend over the SRAM rings, replacing TCP
 // on memory-channel hops (internal/mcnt). A "+mcnt" suffix on a serving

@@ -51,4 +51,18 @@ test -s /tmp/mcn-smoke-metrics.json
 cat /tmp/mcn-smoke-plain.json
 rm -f /tmp/mcn-smoke-plain.json /tmp/mcn-smoke-traced.json /tmp/mcn-smoke-trace.json /tmp/mcn-smoke-metrics.json
 
+# Simulator wall-clock drift gate: re-run the cheapest wall-bench point
+# per topology and compare against the committed BENCH_wallclock.json.
+# The deterministic kernel counters (events, pushes, switches, ...) must
+# match exactly — a mismatch means the event stream itself changed and
+# the artifact needs regenerating (scripts/bench.sh). The events/sec rate
+# only has to stay within 15%, since it depends on the machine. Skipped
+# when the artifact has not been generated yet.
+if [ -f BENCH_wallclock.json ]; then
+	echo ">> mcn-serve -wallcheck BENCH_wallclock.json"
+	go run ./cmd/mcn-serve -wallcheck BENCH_wallclock.json
+else
+	echo ">> BENCH_wallclock.json missing; skipping the wall-clock drift gate (make bench-wallclock to create it)"
+fi
+
 echo "bench-smoke: OK"

@@ -17,3 +17,13 @@ go run ./cmd/mcn-serve -bench -seed "$SEED" -out "$OUT"
 
 echo ">> $OUT"
 cat "$OUT"
+
+# Simulator wall-clock benchmark: events/sec and requests/sec over the
+# canonical topologies. The kernel counters inside are deterministic for
+# the seed; only the wall rates depend on the machine.
+WALLOUT="BENCH_wallclock.json"
+echo ">> mcn-serve -wallbench -seed $SEED -out $WALLOUT"
+go run ./cmd/mcn-serve -wallbench -seed "$SEED" -out "$WALLOUT"
+
+echo ">> $WALLOUT"
+go run ./cmd/mcn-serve -wallcheck "$WALLOUT"

@@ -12,16 +12,20 @@ go build ./...
 echo ">> go vet ./..."
 go vet ./...
 
-# Targeted race gate on the serving tier, its admission plane, the
-# replication plane, the observability plane and the mcnt transport
-# first: these packages carry the concurrency-heavy
-# breaker/loadgen/forwarder/tracer/retransmit interplay, so a race there
-# fails fast before the full suite spins up.
-echo ">> go test -race ./internal/admit ./internal/serve ./internal/replica ./internal/obs ./internal/mcnt"
-go test -race ./internal/admit ./internal/serve ./internal/replica ./internal/obs ./internal/mcnt
+# Targeted race gate on the sim kernel, the serving tier, its admission
+# plane, the replication plane, the observability plane and the mcnt
+# transport first: the kernel's token-passing handoff plus the
+# concurrency-heavy breaker/loadgen/forwarder/tracer/retransmit interplay
+# mean a race in these packages fails fast before the full suite spins up.
+echo ">> go test -race ./internal/sim ./internal/admit ./internal/serve ./internal/replica ./internal/obs ./internal/mcnt"
+go test -race ./internal/sim ./internal/admit ./internal/serve ./internal/replica ./internal/obs ./internal/mcnt
 
-echo ">> go test -race $* ./..."
-go test -race "$@" ./...
+# The long simulation packages (contutto's NIOS-II bulk transfer, the MPI
+# suite) multiply by the race detector's overhead; on a loaded machine
+# they can brush go test's default 10-minute per-binary timeout, so the
+# full race pass gets an explicit generous one.
+echo ">> go test -race -timeout 30m $* ./..."
+go test -race -timeout 30m "$@" ./...
 
 ./scripts/cover.sh
 

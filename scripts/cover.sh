@@ -46,7 +46,7 @@ BEGIN {
     f[pre "/internal/obs"] = 85
     f[pre "/internal/replica"] = 85
     f[pre "/internal/serve"] = 81
-    f[pre "/internal/sim"] = 92
+    f[pre "/internal/sim"] = 94
     f[pre "/internal/sram"] = 88
     f[pre "/internal/stats"] = 83
     f[pre "/internal/trace"] = 79
