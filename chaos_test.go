@@ -346,6 +346,44 @@ func TestReplicatedFaultReplayDeterminism(t *testing.T) {
 	}
 }
 
+// TestOpsFaultReplayDeterminism is the near-memory operator chaos gate:
+// a whole-DIMM flap mid-window while multi-GETs, scans, filters and RMWs
+// are in flight. The flap must leave visible damage (a degraded shard,
+// request errors, or operator errors), the surviving shards must keep
+// completing operators on both execution paths, and the entire run —
+// operator decisions, per-family byte tallies, latency quantiles — must
+// replay byte-identically per seed and differ across seeds.
+func TestOpsFaultReplayDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ops fault-replay run skipped in -short mode")
+	}
+	a := mcn.ServeFaultsOps(77)
+	if !a.Ops || !a.Result.OpsOn {
+		t.Fatal("ops chaos serve run reports the operator mix off")
+	}
+	res := a.Result
+	if res.Ops.Total() == 0 || res.Ops.Bytes() == 0 {
+		t.Fatalf("no operator traffic crossed the run: %s", res.Ops.String())
+	}
+	opErrs := res.Ops.MultiGet.Errors + res.Ops.Scan.Errors + res.Ops.Filter.Errors + res.Ops.RMW.Errors
+	if len(a.Degraded) == 0 && res.Errors == 0 && res.Unfinished == 0 && opErrs == 0 {
+		t.Fatal("DIMM flap left no visible damage; fault injection looks inert")
+	}
+	// Both execution paths stayed live through the flap: the auto mix
+	// offloads filters/RMWs and keeps high-fan-out host legs for scans.
+	if res.Ops.Filter.Offloaded == 0 {
+		t.Fatalf("no operator ran on-DIMM through the flap: %s", res.Ops.String())
+	}
+	b := mcn.ServeFaultsOps(77)
+	if as, bs := a.String(), b.String(); as != bs {
+		t.Fatalf("same seed, different ops fault replay:\n--- run A ---\n%s--- run B ---\n%s", as, bs)
+	}
+	c := mcn.ServeFaultsOps(78)
+	if c.String() == a.String() {
+		t.Fatal("different seed replayed the identical ops result; injection looks seed-independent")
+	}
+}
+
 // TestFaultReplayDeterminism is the cheap always-on determinism regression:
 // two runs of a faulty transfer with one seed must agree on completion time
 // and every counter; a third run with a different seed must not.

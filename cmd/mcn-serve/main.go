@@ -53,7 +53,40 @@ type runJSON struct {
 	FailedOver int64          `json:"failed_over,omitempty"`
 	StaleReads int64          `json:"stale_reads,omitempty"`
 	Degraded   []int          `json:"degraded,omitempty"`
+	Ops        *runOpsJSON    `json:"ops,omitempty"`
 	Shards     []runShardJSON `json:"shards"`
+}
+
+// runOpsJSON is the near-memory operator section of a single run (only
+// present when the workload mixed operator traffic in).
+type runOpsJSON struct {
+	MultiGet opTallyJSON `json:"multiget"`
+	Scan     opTallyJSON `json:"scan"`
+	Filter   opTallyJSON `json:"filter"`
+	RMW      opTallyJSON `json:"rmw"`
+}
+
+type opTallyJSON struct {
+	Issued    int64 `json:"issued"`
+	Offloaded int64 `json:"offloaded"`
+	Host      int64 `json:"host"`
+	Errors    int64 `json:"errors,omitempty"`
+	WireReqs  int64 `json:"wire_reqs"`
+	ReqBytes  int64 `json:"req_bytes"`
+	RespBytes int64 `json:"resp_bytes"`
+}
+
+func opTally(t mcn.OpsCounters) runOpsJSON {
+	mk := func(issued, offloaded, host, errs, wire, reqB, respB int64) opTallyJSON {
+		return opTallyJSON{Issued: issued, Offloaded: offloaded, Host: host,
+			Errors: errs, WireReqs: wire, ReqBytes: reqB, RespBytes: respB}
+	}
+	return runOpsJSON{
+		MultiGet: mk(t.MultiGet.Issued, t.MultiGet.Offloaded, t.MultiGet.Host, t.MultiGet.Errors, t.MultiGet.WireReqs, t.MultiGet.ReqBytes, t.MultiGet.RespBytes),
+		Scan:     mk(t.Scan.Issued, t.Scan.Offloaded, t.Scan.Host, t.Scan.Errors, t.Scan.WireReqs, t.Scan.ReqBytes, t.Scan.RespBytes),
+		Filter:   mk(t.Filter.Issued, t.Filter.Offloaded, t.Filter.Host, t.Filter.Errors, t.Filter.WireReqs, t.Filter.ReqBytes, t.Filter.RespBytes),
+		RMW:      mk(t.RMW.Issued, t.RMW.Offloaded, t.RMW.Host, t.RMW.Errors, t.RMW.WireReqs, t.RMW.ReqBytes, t.RMW.RespBytes),
+	}
 }
 
 type runShardJSON struct {
@@ -79,6 +112,50 @@ type benchJSON struct {
 	QpsAtSLO map[string]float64 `json:"qps_at_slo"`
 	Curves   []benchCurveJSON   `json:"curves"`
 	Faults   benchFaultsJSON    `json:"faults"`
+	// Ops is the near-memory operator headline (the two-end selectivity
+	// sweep): omitted by artifacts recorded before the subsystem existed,
+	// so old files keep parsing.
+	Ops *benchOpsJSON `json:"ops,omitempty"`
+}
+
+// benchOpsJSON records the serve-ops smoke sweep: per selectivity, the
+// filter-family channel bytes of the forced host and on-DIMM paths, the
+// savings ratio, and what the calibrated auto mode picked.
+type benchOpsJSON struct {
+	Topo             string            `json:"topo"`
+	Rate             float64           `json:"rate"`
+	ChannelNsPerByte float64           `json:"channel_ns_per_byte"`
+	Rows             []benchOpsRowJSON `json:"rows"`
+}
+
+type benchOpsRowJSON struct {
+	Selectivity     float64 `json:"selectivity"`
+	FilterIssued    int64   `json:"filter_issued"`
+	HostFilterBytes int64   `json:"host_filter_bytes"`
+	DimmFilterBytes int64   `json:"dimm_filter_bytes"`
+	HostOverDimm    float64 `json:"host_over_dimm"`
+	AutoOffloaded   int64   `json:"auto_offloaded"`
+	AutoHost        int64   `json:"auto_host"`
+	HostFilterP99Ns float64 `json:"host_filter_p99_ns"`
+	DimmFilterP99Ns float64 `json:"dimm_filter_p99_ns"`
+}
+
+func opsBenchJSON(r *mcn.ServeOpsResult) *benchOpsJSON {
+	out := &benchOpsJSON{Topo: r.Topo, Rate: r.Rate, ChannelNsPerByte: r.ChannelNsPerByte}
+	for _, row := range r.Rows {
+		out.Rows = append(out.Rows, benchOpsRowJSON{
+			Selectivity:     row.Selectivity,
+			FilterIssued:    row.Host.FilterIssued,
+			HostFilterBytes: row.Host.FilterBytes,
+			DimmFilterBytes: row.Dimm.FilterBytes,
+			HostOverDimm:    row.HostOverDimmBytes(),
+			AutoOffloaded:   row.Auto.FilterOffloaded,
+			AutoHost:        row.Auto.FilterHost,
+			HostFilterP99Ns: row.Host.FilterP99,
+			DimmFilterP99Ns: row.Dimm.FilterP99,
+		})
+	}
+	return out
 }
 
 // benchFaultsJSON is the fault-window headline: p99 (ns) over a measured
@@ -147,6 +224,7 @@ func main() {
 	metricsOut := flag.String("metrics", "", "single run: write the metrics-registry snapshot JSON to this file")
 	check := flag.String("check", "", "with -curve: compare the swept points against this BENCH_serve.json and exit non-zero on drift")
 	replCheck := flag.String("replcheck", "", "re-run the replicated DIMM-flap A/B and compare against this BENCH_serve.json's faults section, exiting non-zero on drift")
+	opsCheck := flag.String("opscheck", "", "re-run the near-memory operator smoke sweep and compare against this BENCH_serve.json's ops section, exiting non-zero on drift or a failed savings/decision claim")
 	wallBench := flag.Bool("wallbench", false, "measure raw simulator throughput (events/sec) over the canonical topologies and write the BENCH_wallclock.json artifact")
 	wallReps := flag.Int("wallreps", 3, "with -wallbench: best-of-N wall-clock repetitions per point")
 	wallCheck := flag.String("wallcheck", "", "re-run the cheapest wall-bench point per topology and compare against this BENCH_wallclock.json, exiting non-zero on drift")
@@ -155,6 +233,10 @@ func main() {
 
 	if *replCheck != "" {
 		checkReplFaults(*replCheck, *seed)
+		return
+	}
+	if *opsCheck != "" {
+		checkOps(*opsCheck, *seed)
 		return
 	}
 	if *wallCheck != "" {
@@ -202,7 +284,9 @@ func main() {
 		b.Faults = replFaultsJSON(rr)
 		b.Faults.P99OffNs, b.Faults.P99RerouteNs, b.Faults.P99ShedNs = fr.P99Off(), fr.P99Reroute(), fr.P99Shed()
 		b.Faults.Rerouted, b.Faults.Shed = fr.Reroute.Rerouted, fr.Shed.Shed
-		value, text = b, r.String()+"\n"+fr.String()+"\n"+rr.String()
+		or := mcn.ServeOpsSmoke(*seed)
+		b.Ops = opsBenchJSON(or)
+		value, text = b, r.String()+"\n"+fr.String()+"\n"+rr.String()+"\n"+or.String()
 		*jsonOut = *jsonOut || *out != "" // the bench artifact is always JSON
 	case *curve:
 		r := mcn.ServeCurve(*seed, ladder)
@@ -230,6 +314,10 @@ func main() {
 			Misses: res.Misses, FailedOver: res.FailedOver,
 			StaleReads: res.ReplCounters.StaleReads,
 			Degraded:   res.Degraded(),
+		}
+		if res.OpsOn {
+			ops := opTally(res.Ops)
+			j.Ops = &ops
 		}
 		for _, ss := range res.PerShard {
 			j.Shards = append(j.Shards, runShardJSON{
@@ -444,6 +532,62 @@ func checkWallBench(path string, tol float64) {
 		topos[p.Topo] = true
 	}
 	fmt.Printf("wallcheck: OK (%d topologies, events/sec tolerance %.0f%%)\n", len(topos), tol*100)
+}
+
+// checkOps re-runs the near-memory operator smoke sweep at the
+// artifact's seed, audits the savings/decision claims (ServeOpsResult
+// .Check), and compares against the artifact's ops section: byte counts
+// and decision tallies exactly (the simulator is deterministic),
+// quantiles and the calibrated cost to the float-formatting allowance.
+func checkOps(path string, seed uint64) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "-opscheck: %v\n", err)
+		os.Exit(1)
+	}
+	var want benchJSON
+	if err := json.Unmarshal(raw, &want); err != nil {
+		fmt.Fprintf(os.Stderr, "-opscheck: bad artifact %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	if want.Ops == nil {
+		fmt.Fprintf(os.Stderr, "-opscheck: %s has no ops section (recorded before the operator subsystem)\n", path)
+		os.Exit(1)
+	}
+	if want.Seed != seed {
+		fmt.Fprintf(os.Stderr, "-opscheck: artifact seed %d, run seed %d — not comparable\n", want.Seed, seed)
+		os.Exit(1)
+	}
+	r := mcn.ServeOpsSmoke(seed)
+	if bad := r.Check(); len(bad) > 0 {
+		for _, d := range bad {
+			fmt.Fprintln(os.Stderr, "opscheck: claim failed: "+d)
+		}
+		os.Exit(1)
+	}
+	got := opsBenchJSON(r)
+	w := want.Ops
+	near := func(a, b float64) bool {
+		return math.Abs(a-b) <= 1e-9*math.Max(math.Abs(a), math.Abs(b))
+	}
+	if got.Topo != w.Topo || !near(got.Rate, w.Rate) || !near(got.ChannelNsPerByte, w.ChannelNsPerByte) || len(got.Rows) != len(w.Rows) {
+		fmt.Fprintf(os.Stderr, "-opscheck: sweep shape drifted from %s:\n  got  %+v\n  want %+v\n", path, got, w)
+		os.Exit(1)
+	}
+	for i, g := range got.Rows {
+		x := w.Rows[i]
+		if !near(g.Selectivity, x.Selectivity) || g.FilterIssued != x.FilterIssued ||
+			g.HostFilterBytes != x.HostFilterBytes || g.DimmFilterBytes != x.DimmFilterBytes ||
+			g.AutoOffloaded != x.AutoOffloaded || g.AutoHost != x.AutoHost ||
+			!near(g.HostFilterP99Ns, x.HostFilterP99Ns) || !near(g.DimmFilterP99Ns, x.DimmFilterP99Ns) {
+			fmt.Fprintf(os.Stderr, "-opscheck: sel=%.2f drifted from %s:\n  got  %+v\n  want %+v\n",
+				g.Selectivity, path, g, x)
+			os.Exit(1)
+		}
+	}
+	lo := got.Rows[0]
+	fmt.Fprintf(os.Stderr, "-opscheck: ops sweep matches %s (sel=%.0f%% host/dimm bytes %.1fx, auto offloaded %d/%d)\n",
+		path, lo.Selectivity*100, lo.HostOverDimm, lo.AutoOffloaded, lo.FilterIssued)
 }
 
 func checkReplFaults(path string, seed uint64) {

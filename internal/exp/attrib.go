@@ -51,7 +51,7 @@ func ServeTracedFaults(seed uint64, topo string, rate float64, sampleN int) *Ser
 
 func serveTraced(seed uint64, topo string, rate float64, closedWorkers, sampleN int,
 	plan func(*sim.Kernel, *serve.Config) *faults.Plan) *ServeTraceResult {
-	fabric, batched, admitted, replicated, mcntOn := parseServeTopo(topo)
+	fabric, batched, admitted, replicated, mcntOn, opsOn := parseServeTopo(topo)
 	k := sim.NewKernel()
 	shards, clients, inject, observe, fab := buildServeTopo(k, fabric, mcntOn)
 	cfg := serveConfig(seed, rate)
@@ -67,6 +67,9 @@ func serveTraced(seed uint64, topo string, rate float64, closedWorkers, sampleN 
 		if !cfg.Admit.Enabled() {
 			cfg.Admit = DefaultServeAdmit
 		}
+	}
+	if opsOn {
+		cfg.Ops = DefaultServeOps
 	}
 	if closedWorkers > 0 {
 		cfg.ClosedWorkers = closedWorkers

@@ -50,8 +50,9 @@ const DefaultServeSLONs = 40e3 // 40us
 // which implies admission control — the breaker is the failover signal).
 // Suffixes compose in any order. A "+mcnt" suffix swaps the
 // memory-channel hops from TCP to the MCN-native mcnt transport
-// (internal/mcnt) — only meaningful on MCN fabrics.
-var ServeTopos = []string{"mcn0", "mcn5", "mcn0+batch", "mcn5+batch", "mcn5+batch+admit", "mcn5+batch+repl", "mcn5+batch+mcnt", "10gbe", "scaleup"}
+// (internal/mcnt) — only meaningful on MCN fabrics. A "+ops" suffix mixes
+// near-memory operator traffic (DefaultServeOps) into the workload.
+var ServeTopos = []string{"mcn0", "mcn5", "mcn0+batch", "mcn5+batch", "mcn5+batch+admit", "mcn5+batch+repl", "mcn5+batch+mcnt", "mcn5+batch+ops", "10gbe", "scaleup"}
 
 // DefaultServeBatch is the coalescing bound the "+batch" topologies use:
 // flush at 16 requests, 8KB, or 2us after the first dequeue — whichever
@@ -211,10 +212,10 @@ func buildServeTopo(k *sim.Kernel, topo string, useMcnt bool) (shards []serve.Sh
 	return shards, clients, inject, observe, fab
 }
 
-// parseServeTopo strips the composable "+batch"/"+admit"/"+repl"/"+mcnt"
-// suffixes off a topology name, in any order, returning the bare fabric
-// and the flags.
-func parseServeTopo(topo string) (fabric string, batched, admitted, replicated, mcntOn bool) {
+// parseServeTopo strips the composable "+batch"/"+admit"/"+repl"/"+mcnt"/
+// "+ops" suffixes off a topology name, in any order, returning the bare
+// fabric and the flags.
+func parseServeTopo(topo string) (fabric string, batched, admitted, replicated, mcntOn, opsOn bool) {
 	fabric = topo
 	for {
 		if f, ok := strings.CutSuffix(fabric, "+batch"); ok {
@@ -233,7 +234,11 @@ func parseServeTopo(topo string) (fabric string, batched, admitted, replicated, 
 			fabric, mcntOn = f, true
 			continue
 		}
-		return fabric, batched, admitted, replicated, mcntOn
+		if f, ok := strings.CutSuffix(fabric, "+ops"); ok {
+			fabric, opsOn = f, true
+			continue
+		}
+		return fabric, batched, admitted, replicated, mcntOn, opsOn
 	}
 }
 
@@ -243,7 +248,7 @@ func parseServeTopo(topo string) (fabric string, batched, admitted, replicated, 
 // "+admit") on the fabric the remainder names; suffixes compose in any
 // order ("mcn5+batch+admit" == "mcn5+admit+batch").
 func runServe(seed uint64, topo string, rate float64, plan *faults.Plan, mutate func(*serve.Config)) *serve.Result {
-	fabric, batched, admitted, replicated, mcntOn := parseServeTopo(topo)
+	fabric, batched, admitted, replicated, mcntOn, opsOn := parseServeTopo(topo)
 	k := sim.NewKernel()
 	shards, clients, inject, observe, _ := buildServeTopo(k, fabric, mcntOn)
 	_ = observe
@@ -263,6 +268,9 @@ func runServe(seed uint64, topo string, rate float64, plan *faults.Plan, mutate 
 		if !cfg.Admit.Enabled() {
 			cfg.Admit = DefaultServeAdmit
 		}
+	}
+	if opsOn {
+		cfg.Ops = DefaultServeOps
 	}
 	if mutate != nil {
 		mutate(&cfg)
@@ -299,7 +307,7 @@ func ServeCurve(seed uint64, rates []float64) *ServeCurveResult {
 			// ladder (its knee sits past the TCP rungs) while everything
 			// else keeps the recorded baseline ladder point-for-point.
 			topoRates = DefaultServeRates
-			if _, _, _, _, mcntOn := parseServeTopo(topo); mcntOn {
+			if _, _, _, _, mcntOn, _ := parseServeTopo(topo); mcntOn {
 				topoRates = McntServeRates
 			}
 		}
@@ -354,6 +362,7 @@ type ServeFaultsResult struct {
 	Admitted   bool
 	Repl       bool
 	Mcnt       bool
+	Ops        bool
 	FlapDimm   string
 	FlapStart  sim.Time
 	FlapEnd    sim.Time
@@ -489,6 +498,9 @@ func (r *ServeFaultsResult) String() string {
 	}
 	if r.Mcnt {
 		mode += ", mcnt"
+	}
+	if r.Ops {
+		mode += ", ops"
 	}
 	fmt.Fprintf(&b, "serving under a DIMM flap: %s offline [%v, %v) (seed %d%s)\n",
 		r.FlapDimm, r.FlapStart, r.FlapEnd, r.Seed, mode)

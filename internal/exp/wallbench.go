@@ -80,7 +80,7 @@ func wallCalibrate() float64 {
 // topologies stop at their knee, the mcnt transport sweeps to the rate
 // the ISSUE's 2x target is measured at.
 func WallBenchRates(topo string) []float64 {
-	if _, _, _, _, mcntOn := parseServeTopo(topo); mcntOn {
+	if _, _, _, _, mcntOn, _ := parseServeTopo(topo); mcntOn {
 		return []float64{200e3, 800e3, 2.4e6}
 	}
 	return []float64{200e3, 800e3, 1.4e6}
@@ -102,7 +102,7 @@ func WallBenchOnce(seed uint64, topo string, rate float64, reps int) WallBenchPo
 		reps = 1
 	}
 	run := func() (WallBenchPoint, time.Duration) {
-		fabric, batched, admitted, replicated, mcntOn := parseServeTopo(topo)
+		fabric, batched, admitted, replicated, mcntOn, opsOn := parseServeTopo(topo)
 		k := sim.NewKernel()
 		shards, clients, _, _, _ := buildServeTopo(k, fabric, mcntOn)
 		cfg := serveConfig(seed, rate)
@@ -118,6 +118,9 @@ func WallBenchOnce(seed uint64, topo string, rate float64, reps int) WallBenchPo
 			if !cfg.Admit.Enabled() {
 				cfg.Admit = DefaultServeAdmit
 			}
+		}
+		if opsOn {
+			cfg.Ops = DefaultServeOps
 		}
 		t0 := time.Now()
 		res := serve.Run(k, cfg)

@@ -14,6 +14,7 @@ import (
 
 	"github.com/mcn-arch/mcn/internal/cluster"
 	"github.com/mcn-arch/mcn/internal/netstack"
+	"github.com/mcn-arch/mcn/internal/nmop"
 	"github.com/mcn-arch/mcn/internal/obs"
 	"github.com/mcn-arch/mcn/internal/sim"
 	"github.com/mcn-arch/mcn/internal/stats"
@@ -39,7 +40,20 @@ const (
 	// sequence and the response is a delta payload of every live version
 	// applied after it (see AppendDeltaRequest / ParseDelta).
 	OpDelta
+	// Near-memory operators (internal/nmop): the key field carries the
+	// operator's primary/start key and the value field its payload
+	// (nmop.ParseOpRequest). They run on the DIMM-resident store so only
+	// results — not raw rows — cross the memory channel.
+	OpMultiGet
+	OpScan
+	OpFilter
+	OpCAS
+	OpFetchAdd
 )
+
+// opKindBase maps the operator opcodes onto nmop.Kind: OpMultiGet <->
+// nmop.KindMultiGet and so on, in declaration order.
+const opKindBase = OpMultiGet - int(nmop.KindMultiGet)
 
 // The top bits of the op byte are per-request flags; OpMask strips them.
 const (
@@ -71,6 +85,14 @@ const (
 	// in time while the backup was still admitted — the caller cannot
 	// assume the write is replicated.
 	StatusUnavail
+	// StatusBadRequest reports a malformed operator request (zero-key
+	// multi-GET, inverted range, oversized predicate, ...). The body was
+	// consumed per the validated header, so — unlike StatusTooLarge —
+	// the connection stays usable.
+	StatusBadRequest
+	// StatusConflict reports a CAS whose compare failed; the response
+	// value is the current value. Not an error — the caller retries.
+	StatusConflict
 )
 
 // Size limits, enforced server-side (and preflighted client-side), in the
@@ -89,6 +111,10 @@ var ErrTooLarge = fmt.Errorf("kvstore: key or value too large")
 // ErrUnavail is returned when a sync write could not be confirmed at the
 // backup before the deadline.
 var ErrUnavail = fmt.Errorf("kvstore: sync write unconfirmed at backup")
+
+// ErrBadRequest is returned by the client when the server rejects a
+// malformed operator request.
+var ErrBadRequest = fmt.Errorf("kvstore: malformed operator request")
 
 // ReqHeaderBytes and RespHeaderBytes are the fixed header sizes; exported
 // so load generators (internal/serve) can speak the wire protocol with
@@ -268,6 +294,12 @@ type Server struct {
 	live  int // keys present and not tombstoned
 	bytes int64
 
+	// index keeps the live keys sorted so range operators (scan, filter)
+	// walk the store in deterministic lexical order — Go map iteration
+	// would not replay. Maintained by store()/Preload; tombstoned keys
+	// are absent.
+	index []string
+
 	// applySeq numbers every local write in apply order; journal records
 	// (seq, key) pairs in that order so a delta stream walks writes
 	// deterministically (Go map iteration would not replay).
@@ -287,6 +319,11 @@ type Server struct {
 	Gets, Sets, Dels, Misses int64
 	// BadOps and TooLarge count rejected malformed requests.
 	BadOps, TooLarge int64
+	// Operator stats: per-kind request counts, rows touched by range
+	// operators, malformed operator requests rejected (StatusBadRequest),
+	// and CAS compare failures (StatusConflict).
+	MultiGets, Scans, Filters, CASes, FAdds int64
+	OpRows, BadReqs, Conflicts              int64
 	// Replication stats: versioned applies accepted/ignored, requests
 	// that arrived flagged as failover traffic, and delta-stream volume.
 	ReplApplied, ReplStale     int64
@@ -365,10 +402,12 @@ func (s *Server) Bytes() int64 { return s.bytes }
 // path — the warm-up an operator (or a serving benchmark) performs before
 // the measured window. It charges no simulated time.
 func (s *Server) Preload(key string, val []byte) {
+	wasLive := false
 	if old, ok := s.data[key]; ok {
 		s.bytes -= int64(len(old.val))
 		if !old.dead {
 			s.live--
+			wasLive = true
 		}
 	}
 	// Preloaded data is version zero on every replica, so replicas
@@ -376,6 +415,9 @@ func (s *Server) Preload(key string, val []byte) {
 	s.data[key] = entry{val: val}
 	s.live++
 	s.bytes += int64(len(val))
+	if !wasLive {
+		s.indexInsert(key)
+	}
 }
 
 // Len returns the number of live keys (tombstones excluded).
@@ -520,6 +562,8 @@ func (s *Server) serve(p *sim.Proc, c netstack.Conn) {
 			// A stale apply (the local version is already newer) is an
 			// idempotent no-op: still OK, so forward retries converge.
 			s.applyRepl(p, ReplRecord{Op: ro, Key: key, Val: rv, Epoch: epoch, Ver: ver})
+		case OpMultiGet, OpScan, OpFilter, OpCAS, OpFetchAdd:
+			val, status = s.execOp(p, base, key, body[keyLen:], failover, sync)
 		case OpDelta:
 			if valLen != 8 {
 				s.BadOps++
@@ -546,9 +590,10 @@ func (s *Server) serve(p *sim.Proc, c netstack.Conn) {
 // the next apply sequence, and the journal record the delta stream walks.
 func (s *Server) store(key string, val []byte, epoch uint32, ver uint64, dead bool) {
 	old, had := s.data[key]
+	wasLive := had && !old.dead
 	if had {
 		s.bytes -= int64(len(old.val))
-		if !old.dead {
+		if wasLive {
 			s.live--
 		}
 	}
@@ -559,6 +604,28 @@ func (s *Server) store(key string, val []byte, epoch uint32, ver uint64, dead bo
 	}
 	s.bytes += int64(len(val))
 	s.journal = append(s.journal, journalEntry{seq: s.applySeq, key: key})
+	if !dead && !wasLive {
+		s.indexInsert(key)
+	} else if dead && wasLive {
+		s.indexRemove(key)
+	}
+}
+
+// indexInsert adds a newly-live key to the sorted index; the caller
+// guarantees it is absent.
+func (s *Server) indexInsert(key string) {
+	i := sort.SearchStrings(s.index, key)
+	s.index = append(s.index, "")
+	copy(s.index[i+1:], s.index[i:])
+	s.index[i] = key
+}
+
+// indexRemove drops a no-longer-live key from the sorted index.
+func (s *Server) indexRemove(key string) {
+	i := sort.SearchStrings(s.index, key)
+	if i < len(s.index) && s.index[i] == key {
+		s.index = append(s.index[:i], s.index[i+1:]...)
+	}
 }
 
 // applyRepl applies one forwarded or anti-entropy record iff its version
@@ -763,6 +830,8 @@ func (c *Client) do(p *sim.Proc, op byte, key string, val []byte) ([]byte, byte,
 		return out, hdr[0], ErrTooLarge
 	case StatusUnavail:
 		return out, hdr[0], ErrUnavail
+	case StatusBadRequest:
+		return out, hdr[0], ErrBadRequest
 	}
 	return out, hdr[0], nil
 }

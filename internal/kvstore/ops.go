@@ -1,0 +1,364 @@
+// Near-memory operator execution: the server-side path that runs
+// multi-GET / scan / filter+aggregate / CAS / fetch-and-add on the
+// DIMM-resident store, plus the client methods for both execution paths —
+// the on-DIMM operator and its host-side fallback that fetches raw values
+// and computes identically (through the same internal/nmop functions), so
+// the two can be diff-verified byte for byte.
+package kvstore
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"github.com/mcn-arch/mcn/internal/nmop"
+	"github.com/mcn-arch/mcn/internal/sim"
+)
+
+// Per-row evaluation cost of the DIMM's in-order core (predicate check +
+// aggregate fold) and of the host CPU doing the same work on fetched raw
+// rows. These are the simulated-time counterparts of the cost model's
+// DimmNsPerRow / HostNsPerRow priors (nmop.DefaultCostModel).
+const (
+	DimmRowEvalNs = 6
+	HostRowEvalNs = 1
+)
+
+// execOp runs one operator request on the store. It returns the response
+// payload and status; every malformed payload is a clean per-request
+// StatusBadRequest (the body was consumed per the validated header, so
+// the connection stays usable).
+func (s *Server) execOp(p *sim.Proc, base byte, key string, payload []byte, failover, sync bool) ([]byte, byte) {
+	req, err := nmop.ParseOpRequest(nmop.Kind(int(base)-opKindBase), key, payload)
+	if err != nil {
+		s.BadReqs++
+		return nil, StatusBadRequest
+	}
+	switch req.Kind {
+	case nmop.KindMultiGet:
+		return s.execMultiGet(p, req), StatusOK
+	case nmop.KindScan:
+		return s.execScan(p, req), StatusOK
+	case nmop.KindFilter:
+		return s.execFilter(p, req), StatusOK
+	case nmop.KindCAS:
+		return s.execCAS(p, req, failover, sync)
+	default: // nmop.KindFetchAdd — ParseOpRequest admits nothing else.
+		return s.execFetchAdd(p, req, failover, sync)
+	}
+}
+
+func (s *Server) execMultiGet(p *sim.Proc, req *nmop.Req) []byte {
+	s.MultiGets++
+	s.OpRows += int64(len(req.Keys))
+	res := &nmop.MultiGetResult{Found: make([]bool, len(req.Keys)), Vals: make([][]byte, len(req.Keys))}
+	var streamed int64
+	for i, k := range req.Keys {
+		e, ok := s.data[k]
+		if !ok || e.dead {
+			continue
+		}
+		res.Found[i] = true
+		res.Vals[i] = e.val
+		streamed += int64(len(e.val))
+	}
+	if streamed > 0 {
+		s.ep.Node.MemStream(p, streamed, false)
+	}
+	p.Sleep(sim.Duration(len(req.Keys)) * DimmRowEvalNs * sim.Nanosecond)
+	return nmop.AppendMultiGetResult(nil, res)
+}
+
+// gatherRows collects up to maxRows live rows in [start, end) from the
+// sorted index and reports whether the range continues past them (and at
+// which key). The row values alias the store — callers encode before the
+// next apply.
+func (s *Server) gatherRows(start, end string, maxRows uint32) (rows []nmop.Record, more bool, next string) {
+	i := sort.SearchStrings(s.index, start)
+	for ; i < len(s.index); i++ {
+		k := s.index[i]
+		if end != "" && k >= end {
+			return rows, false, ""
+		}
+		if uint32(len(rows)) >= maxRows {
+			return rows, true, k
+		}
+		rows = append(rows, nmop.Record{Key: k, Val: s.data[k].val})
+	}
+	return rows, false, ""
+}
+
+func (s *Server) execScan(p *sim.Proc, req *nmop.Req) []byte {
+	s.Scans++
+	rows, more, next := s.gatherRows(req.Start, req.End, req.MaxRows)
+	res := &nmop.ScanResult{More: more, Next: next}
+	var streamed int64
+	var respBytes uint32
+	for i, r := range rows {
+		rb := uint32(len(r.Key) + len(r.Val))
+		// Always ship at least one row so a page makes progress.
+		if i > 0 && respBytes+rb > req.MaxBytes {
+			res.More, res.Next = true, r.Key
+			break
+		}
+		res.Recs = append(res.Recs, r)
+		respBytes += rb
+		streamed += int64(len(r.Val))
+	}
+	s.OpRows += int64(len(res.Recs))
+	if streamed > 0 {
+		s.ep.Node.MemStream(p, streamed, false)
+	}
+	p.Sleep(sim.Duration(len(res.Recs)) * DimmRowEvalNs * sim.Nanosecond)
+	return nmop.AppendScanResult(nil, res)
+}
+
+func (s *Server) execFilter(p *sim.Proc, req *nmop.Req) []byte {
+	s.Filters++
+	rows, more, next := s.gatherRows(req.Start, req.End, req.MaxRows)
+	res, consumed := nmop.RunFilter(req, rows)
+	if consumed < len(rows) {
+		res.More, res.Next = true, rows[consumed].Key
+	} else {
+		res.More, res.Next = more, next
+	}
+	s.OpRows += int64(consumed)
+	var streamed int64
+	for _, r := range rows[:consumed] {
+		streamed += int64(len(r.Val))
+	}
+	if streamed > 0 {
+		// The near-memory win: every row streams DIMM-locally...
+		s.ep.Node.MemStream(p, streamed, false)
+	}
+	// ...and the DIMM core pays the per-row evaluation cost.
+	p.Sleep(sim.Duration(consumed) * DimmRowEvalNs * sim.Nanosecond)
+	return nmop.AppendFilterResult(nil, res)
+}
+
+func (s *Server) execCAS(p *sim.Proc, req *nmop.Req, failover, sync bool) ([]byte, byte) {
+	s.CASes++
+	cur, ok := s.data[req.Start]
+	if !ok || cur.dead {
+		s.Misses++
+		return nil, StatusMiss
+	}
+	s.ep.Node.MemStream(p, int64(len(cur.val)), false)
+	if !bytes.Equal(cur.val, req.Old) {
+		s.Conflicts++
+		return cur.val, StatusConflict
+	}
+	stored := append([]byte(nil), req.New...)
+	status := s.mutate(p, req.Start, stored, cur, failover, sync)
+	return nil, status
+}
+
+func (s *Server) execFetchAdd(p *sim.Proc, req *nmop.Req, failover, sync bool) ([]byte, byte) {
+	s.FAdds++
+	cur, ok := s.data[req.Start]
+	if !ok || cur.dead {
+		s.Misses++
+		return nil, StatusMiss
+	}
+	s.ep.Node.MemStream(p, int64(len(cur.val)), false)
+	v := nmop.ValueCounter(cur.val) + req.Delta
+	stored := append([]byte(nil), cur.val...)
+	nmop.PutValueCounter(stored, v)
+	status := s.mutate(p, req.Start, stored, cur, failover, sync)
+	resp := nmop.AppendFetchAddPayload(nil, v)
+	if status != StatusOK {
+		return nil, status
+	}
+	return resp, StatusOK
+}
+
+// mutate applies a read-modify-write's store half under the same
+// versioning, failover-epoch, and replication-forwarding rules as OpSet.
+func (s *Server) mutate(p *sim.Proc, key string, val []byte, cur entry, failover, sync bool) byte {
+	ep2, v2 := cur.epoch, cur.ver+1
+	if failover {
+		s.FailoverSets++
+		ep2++
+	}
+	s.store(key, val, ep2, v2, false)
+	s.ep.Node.MemStream(p, int64(len(val)), true)
+	if s.fwd != nil && !failover {
+		if !s.fwd.Forward(p, ReplRecord{Op: OpSet, Key: key, Val: val, Epoch: ep2, Ver: v2}, sync) {
+			return StatusUnavail
+		}
+	}
+	return StatusOK
+}
+
+// ---- Client: on-DIMM operator path ----
+
+// MultiGet fetches several keys in one request; per-key found flags and
+// values come back in request order.
+func (c *Client) MultiGet(p *sim.Proc, keys []string) (*nmop.MultiGetResult, error) {
+	payload, st, err := c.do(p, OpMultiGet, "", nmop.AppendMultiGetPayload(nil, keys))
+	if err != nil {
+		return nil, err
+	}
+	res, ok := nmop.ParseMultiGetResult(payload)
+	if !ok {
+		return nil, fmt.Errorf("kvstore: malformed multi-get response (status %d)", st)
+	}
+	return res, nil
+}
+
+// Scan fetches one page of rows in [start, end) in lexical key order.
+func (c *Client) Scan(p *sim.Proc, start, end string, maxRows, maxBytes uint32) (*nmop.ScanResult, error) {
+	payload, st, err := c.do(p, OpScan, start, nmop.AppendScanPayload(nil, end, maxRows, maxBytes))
+	if err != nil {
+		return nil, err
+	}
+	res, ok := nmop.ParseScanResult(payload)
+	if !ok {
+		return nil, fmt.Errorf("kvstore: malformed scan response (status %d)", st)
+	}
+	return res, nil
+}
+
+// FilterAgg runs one filter+aggregate page on the DIMM: rows in
+// [start, end) are scanned next to the memory, and only the aggregate
+// (plus the matches, when returnMatches) crosses the channel.
+func (c *Client) FilterAgg(p *sim.Proc, start, end string, maxRows uint32, pred nmop.Pred, returnMatches bool) (*nmop.FilterResult, error) {
+	payload, st, err := c.do(p, OpFilter, start, nmop.AppendFilterPayload(nil, end, maxRows, nmop.AppendPred(nil, pred), returnMatches))
+	if err != nil {
+		return nil, err
+	}
+	res, ok := nmop.ParseFilterResult(payload)
+	if !ok {
+		return nil, fmt.Errorf("kvstore: malformed filter response (status %d)", st)
+	}
+	return res, nil
+}
+
+// CAS atomically replaces key's value with new iff it currently equals
+// old. swapped=false with found=true reports a compare failure, cur
+// holding the current value.
+func (c *Client) CAS(p *sim.Proc, key string, old, new []byte) (swapped, found bool, cur []byte, err error) {
+	payload, st, err := c.do(p, OpCAS, key, nmop.AppendCASPayload(nil, old, new))
+	if err != nil {
+		return false, false, nil, err
+	}
+	switch st {
+	case StatusOK:
+		return true, true, nil, nil
+	case StatusConflict:
+		return false, true, payload, nil
+	default: // StatusMiss
+		return false, false, nil, nil
+	}
+}
+
+// FetchAdd atomically adds delta to key's counter field and returns the
+// new counter; found=false reports a missing key.
+func (c *Client) FetchAdd(p *sim.Proc, key string, delta uint64) (newVal uint64, found bool, err error) {
+	payload, st, err := c.do(p, OpFetchAdd, key, nmop.AppendFetchAddPayload(nil, delta))
+	if err != nil {
+		return 0, false, err
+	}
+	if st != StatusOK {
+		return 0, false, nil
+	}
+	if len(payload) != 8 {
+		return 0, false, fmt.Errorf("kvstore: malformed fetch-add response (%d bytes)", len(payload))
+	}
+	return nmop.ValueCounter(payload), true, nil
+}
+
+// ---- Client: host-side fallback path ----
+//
+// Each fallback fetches raw values over the channel and computes the
+// identical result host-side through the same nmop functions, charging
+// the host's per-row evaluation cost in simulated time. The operator
+// subsystem diff-verifies the two paths against each other, and the cost
+// model's auto mode picks between them per request.
+
+// MultiGetHost is the host-side multi-GET: one GET round trip per key.
+func (c *Client) MultiGetHost(p *sim.Proc, keys []string) (*nmop.MultiGetResult, error) {
+	res := &nmop.MultiGetResult{Found: make([]bool, len(keys)), Vals: make([][]byte, len(keys))}
+	for i, k := range keys {
+		v, ok, err := c.Get(p, k)
+		if err != nil {
+			return nil, err
+		}
+		res.Found[i] = ok
+		if ok {
+			res.Vals[i] = v
+		}
+	}
+	p.Sleep(sim.Duration(len(keys)) * HostRowEvalNs * sim.Nanosecond)
+	return res, nil
+}
+
+// FilterAggHost is the host-side filter+aggregate: fetch every raw row
+// in the page over the channel (paged scans), then run the identical
+// filter loop (nmop.RunFilter) on the host. The result — aggregate,
+// matches, pagination — is byte-identical to FilterAgg's.
+func (c *Client) FilterAggHost(p *sim.Proc, start, end string, maxRows uint32, pred nmop.Pred, returnMatches bool) (*nmop.FilterResult, error) {
+	req := &nmop.Req{Kind: nmop.KindFilter, Start: start, End: end, MaxRows: maxRows,
+		MaxBytes: nmop.DefaultScanRespBytes, Pred: pred, ReturnMatches: returnMatches}
+	var rows []nmop.Record
+	more, next := false, ""
+	for uint32(len(rows)) < maxRows {
+		sr, err := c.Scan(p, start, end, maxRows-uint32(len(rows)), 0)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, sr.Recs...)
+		more, next = sr.More, sr.Next
+		if !sr.More {
+			break
+		}
+		start = sr.Next
+	}
+	res, consumed := nmop.RunFilter(req, rows)
+	if consumed < len(rows) {
+		res.More, res.Next = true, rows[consumed].Key
+	} else {
+		res.More, res.Next = more, next
+	}
+	p.Sleep(sim.Duration(consumed) * HostRowEvalNs * sim.Nanosecond)
+	return res, nil
+}
+
+// CASHost is the host-side CAS: GET, compare on the host, SET on match.
+// It is atomic only as far as the connection's FIFO pipeline — the
+// on-DIMM CAS exists precisely to close that gap — but over a single
+// deterministic stream the results match.
+func (c *Client) CASHost(p *sim.Proc, key string, old, new []byte) (swapped, found bool, cur []byte, err error) {
+	v, ok, err := c.Get(p, key)
+	if err != nil {
+		return false, false, nil, err
+	}
+	if !ok {
+		return false, false, nil, nil
+	}
+	if !bytes.Equal(v, old) {
+		return false, true, v, nil
+	}
+	if err := c.Set(p, key, new); err != nil {
+		return false, true, nil, err
+	}
+	return true, true, nil, nil
+}
+
+// FetchAddHost is the host-side fetch-and-add: GET, add on the host, SET.
+func (c *Client) FetchAddHost(p *sim.Proc, key string, delta uint64) (newVal uint64, found bool, err error) {
+	v, ok, err := c.Get(p, key)
+	if err != nil {
+		return 0, false, err
+	}
+	if !ok {
+		return 0, false, nil
+	}
+	nv := nmop.ValueCounter(v) + delta
+	stored := append([]byte(nil), v...)
+	nmop.PutValueCounter(stored, nv)
+	if err := c.Set(p, key, stored); err != nil {
+		return 0, true, err
+	}
+	return nv, true, nil
+}

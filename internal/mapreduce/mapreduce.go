@@ -15,8 +15,10 @@ import (
 	"encoding/gob"
 	"fmt"
 	"sort"
+	"strconv"
 
 	"github.com/mcn-arch/mcn/internal/mpi"
+	"github.com/mcn-arch/mcn/internal/nmop"
 )
 
 // Job describes one MapReduce computation. Map and Reduce run on worker
@@ -29,7 +31,26 @@ type Job struct {
 	Map func(split string, emit func(k, v string))
 	// Reduce folds all values of one key into a result.
 	Reduce func(k string, vs []string) string
+	// Combine, when set, is the pre-shuffle combiner (Hadoop's contract:
+	// an associative fold of one key's values into a partial value that
+	// Reduce can consume). On MCN topologies the map workers are
+	// DIMM-resident, so the combine is near-memory compute that shrinks
+	// what crosses the memory-channel shuffle.
+	Combine func(k string, vs []string) string
+	// CombineMode gates the combiner: ModeDimm forces it, ModeHost skips
+	// it (raw values ship and Reduce computes the same result — the
+	// fallback the combine test diffs against), and ModeAuto folds a
+	// partition only when the fold actually shrinks it. Unlike the serve
+	// tier's modeled costs this decision is local and exact: the
+	// duplicate rate is known before anything ships.
+	CombineMode nmop.Mode
 }
+
+// ShuffleBytesKey is the reserved key under which a combiner-carrying
+// job reports its total shuffle payload bytes in the driver's result
+// map. It rides the existing worker→driver result message as one extra
+// KV, so the wire format is unchanged for jobs without a combiner.
+const ShuffleBytesKey = "__mcn_shuffle_bytes__"
 
 // KV is one emitted pair.
 type KV struct{ K, V string }
@@ -59,13 +80,23 @@ func runDriver(r *mpi.Rank, job Job, workers int) map[string]string {
 	for w := 0; w < workers; w++ {
 		r.SendData(w+1, encodeStrings(assign[w]))
 	}
-	// Collect reduce output.
+	// Collect reduce output. Workers with a combiner also report their
+	// shuffle payload bytes under the reserved key, summed here.
 	out := make(map[string]string)
+	var shuffle int64
 	for w := 0; w < workers; w++ {
 		pairs := decodeKVs(r.RecvData(w + 1))
 		for _, kv := range pairs {
+			if kv.K == ShuffleBytesKey {
+				n, _ := strconv.ParseInt(kv.V, 10, 64)
+				shuffle += n
+				continue
+			}
 			out[kv.K] = kv.V
 		}
+	}
+	if job.Combine != nil {
+		out[ShuffleBytesKey] = strconv.FormatInt(shuffle, 10)
 	}
 	return out
 }
@@ -84,12 +115,17 @@ func runWorker(r *mpi.Rank, job Job, workers int) {
 	}
 
 	// Shuffle: pairwise exchange of partitions, the all-to-all of a
-	// MapReduce job.
+	// MapReduce job. Outgoing partitions pass through the combiner first
+	// (when declared and the mode allows), so duplicates fold before
+	// they cross the channel.
 	mine := buckets[me]
+	var shuffleBytes int64
 	for off := 1; off < workers; off++ {
 		dst := (me+off)%workers + 1
 		src := (me-off+workers)%workers + 1
-		got := r.SendrecvData(dst, encodeKVs(buckets[(me+off)%workers]), src)
+		payload := encodeKVs(combineBucket(job, buckets[(me+off)%workers]))
+		shuffleBytes += int64(len(payload))
+		got := r.SendrecvData(dst, payload, src)
 		mine = append(mine, decodeKVs(got)...)
 	}
 
@@ -107,7 +143,36 @@ func runWorker(r *mpi.Rank, job Job, workers int) {
 	for _, k := range keys {
 		results = append(results, KV{k, job.Reduce(k, byKey[k])})
 	}
+	if job.Combine != nil {
+		results = append(results, KV{ShuffleBytesKey, strconv.FormatInt(shuffleBytes, 10)})
+	}
 	r.SendData(0, encodeKVs(results))
+}
+
+// combineBucket folds one outgoing partition with the job's combiner.
+// Grouping preserves first-appearance key order, so a combined shuffle
+// is as deterministic as a raw one.
+func combineBucket(job Job, bucket []KV) []KV {
+	if job.Combine == nil || job.CombineMode == nmop.ModeHost {
+		return bucket
+	}
+	var order []string
+	byKey := make(map[string][]string)
+	for _, kv := range bucket {
+		if _, ok := byKey[kv.K]; !ok {
+			order = append(order, kv.K)
+		}
+		byKey[kv.K] = append(byKey[kv.K], kv.V)
+	}
+	if job.CombineMode == nmop.ModeAuto && len(order) >= len(bucket) {
+		// Nothing folds: shipping as-is avoids a pointless rewrite pass.
+		return bucket
+	}
+	out := make([]KV, 0, len(order))
+	for _, k := range order {
+		out = append(out, KV{k, job.Combine(k, byKey[k])})
+	}
+	return out
 }
 
 // partition hashes a key to a reducer (FNV-1a).

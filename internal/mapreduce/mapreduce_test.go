@@ -9,6 +9,7 @@ import (
 	"github.com/mcn-arch/mcn/internal/cluster"
 	"github.com/mcn-arch/mcn/internal/core"
 	"github.com/mcn-arch/mcn/internal/mpi"
+	"github.com/mcn-arch/mcn/internal/nmop"
 	"github.com/mcn-arch/mcn/internal/node"
 	"github.com/mcn-arch/mcn/internal/sim"
 )
@@ -129,6 +130,76 @@ func TestPartitionCoversAllReducers(t *testing.T) {
 	}
 	if len(seen) != 7 {
 		t.Fatalf("hash partitioner skipped reducers: %v", seen)
+	}
+}
+
+// TestCombineShrinksShuffle runs the same summing job with the combiner
+// forced on (on-DIMM fold before the shuffle) and forced off (host
+// fallback: raw values ship, Reduce computes), and checks the outputs
+// are identical while the combined shuffle moves fewer bytes.
+func TestCombineShrinksShuffle(t *testing.T) {
+	// Few distinct keys, many duplicates: the combiner's best case.
+	var input []string
+	for i := 0; i < 40; i++ {
+		input = append(input, fmt.Sprintf("k%d 1 k%d 1 k%d 1", i%4, (i+1)%4, i%4))
+	}
+	sumJob := func(mode nmop.Mode) Job {
+		sum := func(k string, vs []string) string {
+			total := 0
+			for _, v := range vs {
+				n, _ := strconv.Atoi(v)
+				total += n
+			}
+			return strconv.Itoa(total)
+		}
+		return Job{
+			Name:  "sum",
+			Input: input,
+			Map: func(split string, emit func(k, v string)) {
+				f := strings.Fields(split)
+				for i := 0; i+1 < len(f); i += 2 {
+					emit(f[i], f[i+1])
+				}
+			},
+			// Sum is associative, so the combiner is the reducer.
+			Reduce: sum, Combine: sum, CombineMode: mode,
+		}
+	}
+	run := func(mode nmop.Mode) (map[string]string, int64) {
+		k := sim.NewKernel()
+		defer k.Shutdown()
+		s := cluster.NewMcnServer(k, 3, core.MCN3.Options())
+		out := runJob(t, s.Endpoints(), k, sumJob(mode))
+		bytes, err := strconv.ParseInt(out[ShuffleBytesKey], 10, 64)
+		if err != nil {
+			t.Fatalf("bad %s value %q: %v", ShuffleBytesKey, out[ShuffleBytesKey], err)
+		}
+		delete(out, ShuffleBytesKey)
+		return out, bytes
+	}
+	dimmOut, dimmBytes := run(nmop.ModeDimm)
+	hostOut, hostBytes := run(nmop.ModeHost)
+	if len(dimmOut) != len(hostOut) {
+		t.Fatalf("combined and raw outputs diverge: %v vs %v", dimmOut, hostOut)
+	}
+	for k, v := range hostOut {
+		if dimmOut[k] != v {
+			t.Fatalf("key %q: combined %s != raw %s", k, dimmOut[k], v)
+		}
+	}
+	if dimmOut["k0"] == "" || dimmOut["k0"] == "0" {
+		t.Fatalf("suspicious sums: %v", dimmOut)
+	}
+	if dimmBytes >= hostBytes {
+		t.Fatalf("combine did not shrink the shuffle: dimm=%dB host=%dB", dimmBytes, hostBytes)
+	}
+	// Auto mode folds these duplicate-heavy partitions too.
+	autoOut, autoBytes := run(nmop.ModeAuto)
+	if autoBytes != dimmBytes {
+		t.Errorf("auto shuffle %dB != forced combine %dB", autoBytes, dimmBytes)
+	}
+	if autoOut["k0"] != dimmOut["k0"] {
+		t.Errorf("auto output diverges: %v vs %v", autoOut, dimmOut)
 	}
 }
 

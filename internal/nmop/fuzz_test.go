@@ -1,0 +1,67 @@
+package nmop
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParseOpRequest: arbitrary operator frames never panic, every
+// accepted request satisfies the parser's documented invariants, and the
+// self-framing payloads (multi-GET, CAS, fetch-and-add) re-encode to the
+// exact input bytes — the server trusts these invariants instead of
+// re-validating downstream.
+func FuzzParseOpRequest(f *testing.F) {
+	f.Add(byte(KindMultiGet), "", AppendMultiGetPayload(nil, []string{"key-00000001", "key-00000002"}))
+	f.Add(byte(KindMultiGet), "", []byte{0, 0})
+	f.Add(byte(KindScan), "key-00000000", AppendScanPayload(nil, "key-00000100", 64, 4096))
+	f.Add(byte(KindScan), "key-00000100", AppendScanPayload(nil, "key-00000000", 64, 4096))
+	f.Add(byte(KindFilter), "key-00000000", AppendFilterPayload(nil, "", 512, AppendPred(nil, PredForSelectivity(7, 0.1)), true))
+	f.Add(byte(KindFilter), "a", AppendFilterPayload(nil, "z", 1, make([]byte, MaxPredBytes+1), false))
+	f.Add(byte(KindCAS), "key-00000042", AppendCASPayload(nil, []byte("old-value"), []byte("new-value")))
+	f.Add(byte(KindFetchAdd), "key-00000042", AppendFetchAddPayload(nil, 1))
+	f.Add(byte(0xff), "x", []byte{1, 2, 3})
+	f.Fuzz(func(t *testing.T, kind byte, key string, payload []byte) {
+		r, err := ParseOpRequest(Kind(kind), key, payload)
+		if err != nil {
+			if r != nil {
+				t.Fatal("non-nil request alongside an error")
+			}
+			return
+		}
+		switch r.Kind {
+		case KindMultiGet:
+			if len(r.Keys) == 0 || len(r.Keys) > MaxMultiGetKeys {
+				t.Fatalf("accepted %d keys", len(r.Keys))
+			}
+			if !bytes.Equal(AppendMultiGetPayload(nil, r.Keys), payload) {
+				t.Fatal("multi-get did not re-encode to the input")
+			}
+		case KindScan, KindFilter:
+			if r.Start != key {
+				t.Fatal("scan start differs from the carrying key")
+			}
+			if r.End != "" && r.End <= r.Start {
+				t.Fatalf("accepted inverted range %q..%q", r.Start, r.End)
+			}
+			if r.MaxRows == 0 || r.MaxRows > MaxScanRows {
+				t.Fatalf("accepted MaxRows %d", r.MaxRows)
+			}
+			if r.MaxBytes == 0 || r.MaxBytes > DefaultScanRespBytes {
+				t.Fatalf("accepted MaxBytes %d", r.MaxBytes)
+			}
+			if r.Kind == KindFilter && (r.Pred.Mod == 0 || r.Pred.Thresh > r.Pred.Mod) {
+				t.Fatalf("accepted degenerate predicate %+v", r.Pred)
+			}
+		case KindCAS:
+			if !bytes.Equal(AppendCASPayload(nil, r.Old, r.New), payload) {
+				t.Fatal("CAS did not re-encode to the input")
+			}
+		case KindFetchAdd:
+			if !bytes.Equal(AppendFetchAddPayload(nil, r.Delta), payload) {
+				t.Fatal("fetch-add did not re-encode to the input")
+			}
+		default:
+			t.Fatalf("accepted unknown kind %d", r.Kind)
+		}
+	})
+}

@@ -5,6 +5,7 @@ import (
 	"io"
 	"sort"
 
+	"github.com/mcn-arch/mcn/internal/nmop"
 	"github.com/mcn-arch/mcn/internal/sim"
 )
 
@@ -122,9 +123,21 @@ func (t *Tracer) WritePerfetto(w io.Writer) error {
 		if sp.flow != nil {
 			flow = sp.flow.idx
 		}
-		// Whole-request slice on the client track.
-		emit(`{"ph":"X","pid":%d,"tid":%d,"ts":%s,"dur":%s,"name":"%s req %d","args":{"shard":%d,"seq":%d,"status":%q}}`,
-			pidClient, sp.Client, usec(sp.Arrival), usecDur(sp.Done.Sub(sp.Arrival)), op, sp.ID, sp.Shard, sp.Seq, status)
+		// Whole-request slice on the client track. Operator spans carry
+		// two extra args (the operator kind and the offload decision);
+		// plain GET/SET spans keep the original shape byte-for-byte.
+		if sp.OpKind != 0 {
+			path := "host"
+			if sp.Offloaded {
+				path = "dimm"
+			}
+			kind := nmop.Kind(sp.OpKind).String()
+			emit(`{"ph":"X","pid":%d,"tid":%d,"ts":%s,"dur":%s,"name":"%s req %d","args":{"shard":%d,"seq":%d,"status":%q,"op":%q,"path":%q}}`,
+				pidClient, sp.Client, usec(sp.Arrival), usecDur(sp.Done.Sub(sp.Arrival)), kind, sp.ID, sp.Shard, sp.Seq, status, kind, path)
+		} else {
+			emit(`{"ph":"X","pid":%d,"tid":%d,"ts":%s,"dur":%s,"name":"%s req %d","args":{"shard":%d,"seq":%d,"status":%q}}`,
+				pidClient, sp.Client, usec(sp.Arrival), usecDur(sp.Done.Sub(sp.Arrival)), op, sp.ID, sp.Shard, sp.Seq, status)
+		}
 		// Per-phase slices on the owning component's track.
 		b := sp.Breakdown()
 		at := sp.Arrival

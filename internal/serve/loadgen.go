@@ -9,6 +9,7 @@ import (
 	"github.com/mcn-arch/mcn/internal/cluster"
 	"github.com/mcn-arch/mcn/internal/kvstore"
 	"github.com/mcn-arch/mcn/internal/netstack"
+	"github.com/mcn-arch/mcn/internal/nmop"
 	"github.com/mcn-arch/mcn/internal/obs"
 	"github.com/mcn-arch/mcn/internal/replica"
 	"github.com/mcn-arch/mcn/internal/sim"
@@ -77,6 +78,12 @@ type Config struct {
 	// breaker state is the failover trigger) and at least two shards.
 	// The zero value disables it.
 	Repl replica.Config
+	// Ops mixes near-memory operator traffic (multi-GET, scans,
+	// filter+aggregate, RMW — internal/nmop) into the workload, with the
+	// offload decision layer choosing between the on-DIMM and host-side
+	// execution path per op. The zero value disables it, and a disabled
+	// run is byte-identical to one without the subsystem.
+	Ops OpsConfig
 	// Tracer, when set, samples per-request spans: Run wires it onto the
 	// client and shard-server network stacks (composing with any tap
 	// already attached) and into the kvstore servers, and the load
@@ -134,6 +141,7 @@ func (c Config) withDefaults() Config {
 		c.Inflight = 16
 	}
 	c.Batch = c.Batch.withDefaults()
+	c.Ops = c.Ops.withDefaults()
 	if c.Warmup == 0 {
 		c.Warmup = sim.Millisecond
 	}
@@ -162,6 +170,16 @@ type request struct {
 	eob      bool        // last request of its batch: completing it frees the pipeline slot
 	done     *sim.Signal // closed-loop completion, nil for open loop
 	span     *obs.Span   // sampled trace span, nil when untraced
+	// Operator-traffic fields (ops.go), all zero for plain GET/SET:
+	// kind is the wire operator this request carries (0 when the part is
+	// a plain GET/SET leg of a host fallback), lop the logical op it
+	// belongs to, payload the encoded operator body sent as the request
+	// value, and rows the row count the host fallback charges client-side
+	// compute for on completion.
+	kind    nmop.Kind
+	lop     *logicalOp
+	payload []byte
+	rows    int
 }
 
 // ShardStats is one shard's slice of a run.
@@ -242,6 +260,14 @@ type Result struct {
 	// kept on the result so harnesses can run post-deadline convergence
 	// sweeps (FinalSweep) and inspect pair state before kernel shutdown.
 	Repl *replica.Manager
+	// OpsOn records whether operator traffic ran; the fields below are
+	// only populated when it did. Ops tallies each family's path picks
+	// and wire traffic (requests and bytes over the channel — the figure
+	// the offload exists to bend), and the OpsLat histograms record
+	// logical-op latency, arrival to last wire part, in-window only.
+	OpsOn bool
+	Ops   stats.OpsCounters
+	OpsMultiGetLat, OpsScanLat, OpsFilterLat, OpsRMWLat stats.HDR
 }
 
 // Summary is the warmup-trimmed headline of a run; latencies are in
@@ -361,6 +387,12 @@ func (r *Result) String() string {
 			fmt.Fprintf(&b, "    %s\n", e)
 		}
 	}
+	if r.OpsOn {
+		fmt.Fprintf(&b, "  ops     %s\n", r.Ops.String())
+		fmt.Fprintf(&b, "  ops-lat multiget p99=%.1fus scan p99=%.1fus filter p99=%.1fus rmw p99=%.1fus\n",
+			r.OpsMultiGetLat.Quantile(0.99)/1e3, r.OpsScanLat.Quantile(0.99)/1e3,
+			r.OpsFilterLat.Quantile(0.99)/1e3, r.OpsRMWLat.Quantile(0.99)/1e3)
+	}
 	for _, ss := range r.PerShard {
 		fmt.Fprintf(&b, "  shard %d %-12s n=%-6d p99=%9.1fus max=%9.1fus",
 			ss.Shard, ss.Name, ss.N, ss.Lat.Quantile(0.99)/1e3, float64(ss.Lat.Max())/1e3)
@@ -404,6 +436,7 @@ type bench struct {
 	bconns [][]*shardConn // [client][keyspace]
 	ctrl   *admit.Controller
 	repl   *replica.Manager
+	ops    *opsState // operator plumbing, nil with Config.Ops off
 	res    *Result
 
 	measStart, measEnd sim.Time
@@ -417,6 +450,7 @@ type bench struct {
 // connection's telemetry feeds — the backup's host, not the dead primary.
 type shardConn struct {
 	b           *bench
+	ci          int // owning client index (operator fan-out re-enqueues)
 	shard       int
 	admitShard  int
 	addr        netstack.IP
@@ -529,6 +563,7 @@ func Run(k *sim.Kernel, cfg Config) *Result {
 			b.keyOwners[i] = router.Owners(b.keys[i], len(cfg.Shards))
 		}
 	}
+	b.initOps()
 
 	// Observability: tap every distinct stack on the request path (client
 	// and shard sides — deduplicated, several endpoints can share one
@@ -570,7 +605,7 @@ func Run(k *sim.Kernel, cfg Config) *Result {
 		b.conns[ci] = make([]*shardConn, len(cfg.Shards))
 		for si := range cfg.Shards {
 			sc := &shardConn{
-				b: b, shard: si, admitShard: si, client: cl,
+				b: b, ci: ci, shard: si, admitShard: si, client: cl,
 				addr: cfg.Shards[si].Addr, port: cfg.Shards[si].Port,
 				q:        sim.NewQueue[*request](k, 0),
 				inflight: k.NewResource(cfg.Inflight),
@@ -584,7 +619,7 @@ func Run(k *sim.Kernel, cfg Config) *Result {
 			for si := range cfg.Shards {
 				h := (si + 1) % len(cfg.Shards)
 				sc := &shardConn{
-					b: b, shard: si, admitShard: h, backup: true, client: cl,
+					b: b, ci: ci, shard: si, admitShard: h, backup: true, client: cl,
 					addr: cfg.Shards[h].Addr, port: cfg.Shards[si].Backup.Port(),
 					q:        sim.NewQueue[*request](k, 0),
 					inflight: k.NewResource(cfg.Inflight),
@@ -653,6 +688,10 @@ func (b *bench) openLoop(p *sim.Proc, ci int, gen *generator, arr rng, rate floa
 		if now >= b.measEnd {
 			return
 		}
+		if b.ops != nil {
+			b.issueOps(p, ci, gen, smp, now, false)
+			continue
+		}
 		op, key, sync := gen.next()
 		req := &request{op: op, key: key, sync: sync, arrival: now}
 		if smp.Next() {
@@ -669,6 +708,15 @@ func (b *bench) closedWorker(p *sim.Proc, ci int, gen *generator, smp *obs.Sampl
 		now := p.Now()
 		if now >= b.measEnd {
 			return
+		}
+		if b.ops != nil {
+			sig := b.issueOps(p, ci, gen, smp, now, true)
+			if sig == nil {
+				p.Sleep(sim.Microsecond)
+				continue
+			}
+			sig.Wait(p)
+			continue
 		}
 		op, key, sync := gen.next()
 		req := &request{op: op, key: key, sync: sync, arrival: now, done: b.k.NewSignal()}
@@ -774,11 +822,25 @@ func (b *bench) enqueue(p *sim.Proc, ci int, req *request) bool {
 
 // reqBytes is the encoded size of one request on the wire.
 func (sc *shardConn) reqBytes(req *request) int {
-	n := kvstore.ReqHeaderBytes + len(sc.b.keys[req.key])
-	if req.op == opSet {
-		n += len(sc.setVal)
+	key, val := sc.wireKeyVal(req)
+	return kvstore.ReqHeaderBytes + len(key) + len(val)
+}
+
+// wireKeyVal resolves what one request carries on the wire: an operator
+// part ships its encoded payload as the value (and a multi-GET, whose
+// keys ride in the payload, an empty key); plain requests keep the
+// original GET/SET shape.
+func (sc *shardConn) wireKeyVal(req *request) (string, []byte) {
+	if req.kind != 0 {
+		if req.kind == nmop.KindMultiGet {
+			return "", req.payload
+		}
+		return sc.b.keys[req.key], req.payload
 	}
-	return n
+	if req.op == opSet {
+		return sc.b.keys[req.key], sc.setVal
+	}
+	return sc.b.keys[req.key], nil
 }
 
 // run is the sender side of a shard connection: dial once, then drain the
@@ -813,13 +875,13 @@ func (sc *shardConn) run(p *sim.Proc) {
 			return
 		}
 		if sc.dead {
-			sc.fail(req)
+			sc.fail(p, req)
 			continue
 		}
 		sc.inflight.Acquire(p)
 		if sc.dead {
 			sc.inflight.Release()
-			sc.fail(req)
+			sc.fail(p, req)
 			continue
 		}
 		req.deq = p.Now()
@@ -854,10 +916,7 @@ func (sc *shardConn) run(p *sim.Proc) {
 			if sc.b.ctrl != nil {
 				sc.b.ctrl.OnSend(sc.admitShard)
 			}
-			var val []byte
-			if r.op == opSet {
-				val = sc.setVal
-			}
+			key, val := sc.wireKeyVal(r)
 			op := r.op
 			if r.failover {
 				// The backup fences the dead primary's in-flight forwards
@@ -867,7 +926,7 @@ func (sc *shardConn) run(p *sim.Proc) {
 			if r.sync && r.op == opSet && sc.b.repl != nil {
 				op |= kvstore.SyncFlag
 			}
-			buf = kvstore.AppendRequest(buf, op, sc.b.keys[r.key], val)
+			buf = kvstore.AppendRequest(buf, op, key, val)
 			// Every request advances the flow's FIFO sequence (the
 			// server counts them all); sampled ones also learn their
 			// last byte's stream offset for frame correlation.
@@ -897,10 +956,11 @@ func (sc *shardConn) receive(p *sim.Proc) {
 	for {
 		if !readFull(p, sc.conn, hdr) {
 			sc.dead = true
-			sc.drainOutstanding()
+			sc.drainOutstanding(p)
 			return
 		}
 		status, n, _ := kvstore.ParseRespHeader(hdr)
+		respBytes := kvstore.RespHeaderBytes + n
 		for n > 0 {
 			want := n
 			if want > len(scratch) {
@@ -909,14 +969,14 @@ func (sc *shardConn) receive(p *sim.Proc) {
 			got, ok := sc.conn.Recv(p, scratch[:want])
 			if !ok {
 				sc.dead = true
-				sc.drainOutstanding()
+				sc.drainOutstanding(p)
 				return
 			}
 			n -= got
 		}
 		req := sc.outstanding[0]
 		sc.outstanding = sc.outstanding[1:]
-		sc.complete(req, status, p.Now())
+		sc.complete(p, req, status, respBytes)
 		// The pipeline window is counted in batches: the slot frees when
 		// the batch's last response arrives.
 		if req.eob {
@@ -926,8 +986,18 @@ func (sc *shardConn) receive(p *sim.Proc) {
 }
 
 // complete records one finished request.
-func (sc *shardConn) complete(req *request, status byte, now sim.Time) {
-	ok := status == kvstore.StatusOK || status == kvstore.StatusMiss
+func (sc *shardConn) complete(p *sim.Proc, req *request, status byte, respBytes int) {
+	now := p.Now()
+	// A CAS losing its race returns StatusConflict: a valid, successful
+	// round trip (the current value comes back), not a service error.
+	ok := status == kvstore.StatusOK || status == kvstore.StatusMiss ||
+		status == kvstore.StatusConflict
+	if req.lop != nil {
+		// Logical-op bookkeeping (and, for host fallbacks, the client-side
+		// compute charge and RMW write-back chain) runs after the generic
+		// per-request accounting below, whatever path returns.
+		defer sc.opComplete(p, req, ok, now, respBytes)
+	}
 	if req.span != nil {
 		inWin := req.arrival >= sc.b.measStart && req.arrival < sc.b.measEnd
 		sc.b.cfg.Tracer.Finish(req.span, now, inWin, ok)
@@ -968,15 +1038,15 @@ func (sc *shardConn) complete(req *request, status byte, now sim.Time) {
 
 // fail records a request that could not be sent (dead connection): an
 // error edge for the admission plane, with nothing on the wire to pop.
-func (sc *shardConn) fail(req *request) {
+func (sc *shardConn) fail(p *sim.Proc, req *request) {
 	if sc.b.ctrl != nil {
 		sc.b.ctrl.OnError(sc.admitShard)
 	}
-	sc.failCommon(req)
+	sc.failCommon(p, req)
 }
 
 // failCommon is the shared bookkeeping of both failure paths.
-func (sc *shardConn) failCommon(req *request) {
+func (sc *shardConn) failCommon(p *sim.Proc, req *request) {
 	sc.b.cfg.Tracer.Abort(req.span)
 	if req.done != nil {
 		req.done.Notify()
@@ -985,18 +1055,21 @@ func (sc *shardConn) failCommon(req *request) {
 		sc.b.res.PerShard[req.shard].Errors++
 		sc.b.res.Errors++
 	}
+	if req.lop != nil {
+		sc.opComplete(p, req, false, p.Now(), 0)
+	}
 }
 
 // drainOutstanding fails every request still awaiting a response and
 // releases their batches' pipeline slots (one slot per end-of-batch
 // marker still outstanding). Each drained request was sent, so the
 // admission plane sees a matching failed completion.
-func (sc *shardConn) drainOutstanding() {
+func (sc *shardConn) drainOutstanding(p *sim.Proc) {
 	for _, req := range sc.outstanding {
 		if sc.b.ctrl != nil {
 			sc.b.ctrl.OnComplete(sc.admitShard, 0, false)
 		}
-		sc.failCommon(req)
+		sc.failCommon(p, req)
 		if req.eob {
 			sc.inflight.Release()
 		}
@@ -1045,6 +1118,29 @@ func (b *bench) publish() {
 	reg.RegisterHDR("serve/lat/batchwait", &b.res.BatchWait)
 	reg.RegisterHDR("serve/lat/service", &b.res.Service)
 	reg.RegisterHDR("serve/batch/size", &b.res.BatchSize)
+	if b.res.OpsOn {
+		fams := []struct {
+			name string
+			t    *stats.OpTally
+			h    *stats.HDR
+		}{
+			{"multiget", &b.res.Ops.MultiGet, &b.res.OpsMultiGetLat},
+			{"scan", &b.res.Ops.Scan, &b.res.OpsScanLat},
+			{"filter", &b.res.Ops.Filter, &b.res.OpsFilterLat},
+			{"rmw", &b.res.Ops.RMW, &b.res.OpsRMWLat},
+		}
+		for _, f := range fams {
+			pre := "serve/ops/" + f.name + "/"
+			reg.Counter(pre + "issued").Add(f.t.Issued)
+			reg.Counter(pre + "offloaded").Add(f.t.Offloaded)
+			reg.Counter(pre + "host").Add(f.t.Host)
+			reg.Counter(pre + "errors").Add(f.t.Errors)
+			reg.Counter(pre + "wire_reqs").Add(f.t.WireReqs)
+			reg.Counter(pre + "req_bytes").Add(f.t.ReqBytes)
+			reg.Counter(pre + "resp_bytes").Add(f.t.RespBytes)
+			reg.RegisterHDR(pre+"lat", f.h)
+		}
+	}
 	for si, ss := range b.res.PerShard {
 		pre := fmt.Sprintf("serve/shard/%d/", si)
 		reg.Counter(pre + "completed").Add(ss.N)

@@ -157,6 +157,7 @@ type generator struct {
 	z    *zipf // shared, read-only after construction
 	r    rng
 	sets int // SETs drawn so far, for the SyncEvery cadence
+	rmws int // RMW ops drawn so far, for the CAS/fetch-add alternation
 }
 
 func (w Workload) newGenerator(z *zipf, seed uint64, name string) *generator {
@@ -178,11 +179,7 @@ func scramble(rank, n int) int {
 // cadence is a counter, not an extra RNG draw, so enabling it never
 // perturbs the arrival or key streams.
 func (g *generator) next() (op byte, keyIdx int, sync bool) {
-	if g.w.Popularity == Uniform {
-		keyIdx = int(g.r.next() % uint64(g.w.Keys))
-	} else {
-		keyIdx = scramble(g.z.rank(&g.r), g.w.Keys)
-	}
+	keyIdx = g.keyIdx()
 	if g.r.float64() < g.w.GetFrac {
 		return opGet, keyIdx, false
 	}
@@ -191,4 +188,14 @@ func (g *generator) next() (op byte, keyIdx int, sync bool) {
 		sync = true
 	}
 	return opSet, keyIdx, sync
+}
+
+// keyIdx draws one key index from the popularity distribution. Factored
+// out of next so operator traffic (ops.go) draws keys from the same
+// stream with the same machinery.
+func (g *generator) keyIdx() int {
+	if g.w.Popularity == Uniform {
+		return int(g.r.next() % uint64(g.w.Keys))
+	}
+	return scramble(g.z.rank(&g.r), g.w.Keys)
 }

@@ -485,3 +485,75 @@ func (b *BusyMeter) Energy(span sim.Duration, units int, activeW, idleW float64)
 	}
 	return busy*activeW + idle*idleW
 }
+
+// OpTally is the per-operator-family slice of a serving run's
+// near-memory operator activity: how many logical operators ran, which
+// execution path the decision layer picked for each, and the wire
+// traffic they cost. The operator machinery lives in internal/nmop; the
+// counter block lives here so serving telemetry and determinism tests
+// compare operator activity in one shape, the way ReplCounters does for
+// replication.
+type OpTally struct {
+	Issued    int64 // logical operators issued
+	Offloaded int64 // executed on-DIMM
+	Host      int64 // executed through the host-side fallback
+	Errors    int64 // operators that failed (bad request, transport)
+	WireReqs  int64 // wire requests the operators expanded into
+	ReqBytes  int64 // request payload bytes over the channel
+	RespBytes int64 // response payload bytes over the channel
+}
+
+// Add folds another tally into this one.
+func (o *OpTally) Add(b OpTally) {
+	o.Issued += b.Issued
+	o.Offloaded += b.Offloaded
+	o.Host += b.Host
+	o.Errors += b.Errors
+	o.WireReqs += b.WireReqs
+	o.ReqBytes += b.ReqBytes
+	o.RespBytes += b.RespBytes
+}
+
+// Bytes is the operator family's total channel payload volume.
+func (o *OpTally) Bytes() int64 { return o.ReqBytes + o.RespBytes }
+
+// String renders the tally compactly.
+func (o *OpTally) String() string {
+	return fmt.Sprintf("n=%d dimm=%d host=%d err=%d wire=%d reqB=%d respB=%d",
+		o.Issued, o.Offloaded, o.Host, o.Errors, o.WireReqs, o.ReqBytes, o.RespBytes)
+}
+
+// OpsCounters tallies one serving run's near-memory operator traffic by
+// family: multi-GET, range scan, filter+aggregate, and read-modify-write
+// (CAS + fetch-and-add folded together — one offload decision covers
+// both).
+type OpsCounters struct {
+	MultiGet OpTally
+	Scan     OpTally
+	Filter   OpTally
+	RMW      OpTally
+}
+
+// Add folds another counter block into this one.
+func (o *OpsCounters) Add(b OpsCounters) {
+	o.MultiGet.Add(b.MultiGet)
+	o.Scan.Add(b.Scan)
+	o.Filter.Add(b.Filter)
+	o.RMW.Add(b.RMW)
+}
+
+// Total sums logical operators across families.
+func (o *OpsCounters) Total() int64 {
+	return o.MultiGet.Issued + o.Scan.Issued + o.Filter.Issued + o.RMW.Issued
+}
+
+// Bytes sums channel payload volume across families.
+func (o *OpsCounters) Bytes() int64 {
+	return o.MultiGet.Bytes() + o.Scan.Bytes() + o.Filter.Bytes() + o.RMW.Bytes()
+}
+
+// String renders one line per family, determinism-comparison friendly.
+func (o *OpsCounters) String() string {
+	return fmt.Sprintf("multiget(%s) scan(%s) filter(%s) rmw(%s)",
+		o.MultiGet.String(), o.Scan.String(), o.Filter.String(), o.RMW.String())
+}

@@ -135,3 +135,22 @@ func TestHistogramReservoir(t *testing.T) {
 		t.Fatalf("unbounded mode: retained=%d n=%d", u.Retained(), u.N())
 	}
 }
+
+func TestOpsCounters(t *testing.T) {
+	var o OpsCounters
+	o.Filter.Add(OpTally{Issued: 2, Offloaded: 1, Host: 1, WireReqs: 3, ReqBytes: 100, RespBytes: 900})
+	o.RMW.Add(OpTally{Issued: 5, Offloaded: 5, WireReqs: 5, ReqBytes: 50, RespBytes: 40})
+	var sum OpsCounters
+	sum.Add(o)
+	sum.Add(o)
+	if sum.Total() != 14 || sum.Bytes() != 2180 {
+		t.Fatalf("total=%d bytes=%d", sum.Total(), sum.Bytes())
+	}
+	if o.Filter.Bytes() != 1000 {
+		t.Fatalf("filter bytes = %d", o.Filter.Bytes())
+	}
+	want := "multiget(n=0 dimm=0 host=0 err=0 wire=0 reqB=0 respB=0) scan(n=0 dimm=0 host=0 err=0 wire=0 reqB=0 respB=0) filter(n=2 dimm=1 host=1 err=0 wire=3 reqB=100 respB=900) rmw(n=5 dimm=5 host=0 err=0 wire=5 reqB=50 respB=40)"
+	if o.String() != want {
+		t.Fatalf("String() = %q", o.String())
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"github.com/mcn-arch/mcn/internal/mcnt"
 	"github.com/mcn-arch/mcn/internal/mpi"
 	"github.com/mcn-arch/mcn/internal/netstack"
+	"github.com/mcn-arch/mcn/internal/nmop"
 	"github.com/mcn-arch/mcn/internal/node"
 	"github.com/mcn-arch/mcn/internal/npb"
 	"github.com/mcn-arch/mcn/internal/obs"
@@ -473,6 +474,66 @@ func ServeFaultsRepl(seed uint64) *ServeFaultsResult { return exp.ServeFaultsRep
 // and on; the headline compares flap-window misses, failover reads and
 // post-run replica convergence.
 func ServeRepl(seed uint64) *ServeReplResult { return exp.ServeRepl(seed) }
+
+// Near-memory operators: on-DIMM multi-GET, range scan, filter+aggregate
+// and read-modify-write over the kvstore shards, with an NMPO-style cost
+// model deciding per operator whether to offload or take the host-side
+// fallback (internal/nmop, serve.OpsConfig). A "+ops" suffix on a
+// serving topology mixes DefaultServeOps into the workload.
+type (
+	// ServeOpsConfig mixes near-memory operator traffic into a serving
+	// run's workload.
+	ServeOpsConfig = serve.OpsConfig
+	// OpsMode forces an operator's execution path or lets the cost model
+	// decide (OpsModeAuto/OpsModeHost/OpsModeDimm).
+	OpsMode = nmop.Mode
+	// OpsCostModel prices the host and on-DIMM execution paths.
+	OpsCostModel = nmop.CostModel
+	// OpsCounters tallies a run's operator traffic by family.
+	OpsCounters = stats.OpsCounters
+	// ServeOpsResult is the selectivity sweep of host vs on-DIMM vs auto
+	// execution with the calibration that preceded it.
+	ServeOpsResult = exp.ServeOpsResult
+	// ServeOpsRow is one selectivity's host/dimm/auto triple.
+	ServeOpsRow = exp.ServeOpsRow
+)
+
+// Operator execution modes.
+const (
+	OpsModeAuto = nmop.ModeAuto
+	OpsModeHost = nmop.ModeHost
+	OpsModeDimm = nmop.ModeDimm
+)
+
+// DefaultServeOps is the operator mix the "+ops" serving topologies use.
+var DefaultServeOps = exp.DefaultServeOps
+
+// DefaultOpsCostModel returns the static offload-cost prior (channel
+// ns/byte, per-row compute on each side, per-wire-request overhead).
+func DefaultOpsCostModel() OpsCostModel { return nmop.DefaultCostModel() }
+
+// CalibrateServeOps derives the offload cost model from live phase
+// attribution: one fully-traced serving run prices what moving a payload
+// byte host-side costs on this build's stack, clamped to the model's
+// trusted band.
+func CalibrateServeOps(seed uint64) (model OpsCostModel, rawNsPerByte float64) {
+	return exp.CalibrateServeOps(seed)
+}
+
+// ServeOps runs the near-memory operator experiment: calibrate, then
+// sweep filter selectivity with execution forced host-side, forced
+// on-DIMM, and decided by the calibrated model — the bytes-over-channel
+// figure of the offload argument.
+func ServeOps(seed uint64) *ServeOpsResult { return exp.ServeOps(seed) }
+
+// ServeOpsSmoke is the two-end sweep (10% and 90% selectivity) the
+// bench-smoke gate audits with ServeOpsResult.Check.
+func ServeOpsSmoke(seed uint64) *ServeOpsResult { return exp.ServeOpsSmoke(seed) }
+
+// ServeFaultsOps runs the operator workload under the standard DIMM flap;
+// the run, operator decisions included, replays byte-identically from
+// the seed.
+func ServeFaultsOps(seed uint64) *ServeFaultsResult { return exp.ServeFaultsOps(seed) }
 
 // WallBenchPoint is one wall-clock measurement of the simulator itself;
 // WallBenchResult is the BENCH_wallclock.json artifact shape.

@@ -51,6 +51,27 @@ test -s /tmp/mcn-smoke-metrics.json
 cat /tmp/mcn-smoke-plain.json
 rm -f /tmp/mcn-smoke-plain.json /tmp/mcn-smoke-traced.json /tmp/mcn-smoke-trace.json /tmp/mcn-smoke-metrics.json
 
+# Near-memory operator guards. First the byte-identity gate: a run whose
+# config mentions the ops knobs but leaves them off must produce exactly
+# the telemetry of a run that never heard of the subsystem (covered by
+# the committed curves above staying point-for-point — the curve check
+# runs with ops off). Here, one "+ops" point proves the suffix plumbing
+# carries operator traffic end to end, and -opscheck re-runs the
+# host-vs-dimm selectivity smoke sweep against the committed artifact:
+# the >=5x byte savings at 10% selectivity, the auto mode picking the
+# cheap path at both ends, and every byte/decision tally drift-free.
+# Skipped when the artifact predates the ops section.
+echo ">> mcn-serve -topo mcn5+batch+ops -rate 200000 -seed $SEED -json (operator traffic smoke)"
+go run ./cmd/mcn-serve -topo mcn5+batch+ops -rate 200000 -seed "$SEED" -json -out /tmp/mcn-smoke-ops.json
+grep -q '"ops"' /tmp/mcn-smoke-ops.json
+rm -f /tmp/mcn-smoke-ops.json
+if grep -q '"ops"' BENCH_serve.json; then
+	echo ">> mcn-serve -opscheck BENCH_serve.json -seed $SEED"
+	go run ./cmd/mcn-serve -opscheck BENCH_serve.json -seed "$SEED"
+else
+	echo ">> BENCH_serve.json has no ops section; skipping -opscheck (make bench to regenerate)"
+fi
+
 # Simulator wall-clock drift gate: re-run the cheapest wall-bench point
 # per topology and compare against the committed BENCH_wallclock.json.
 # The deterministic kernel counters (events, pushes, switches, ...) must

@@ -13,12 +13,13 @@ echo ">> go vet ./..."
 go vet ./...
 
 # Targeted race gate on the sim kernel, the serving tier, its admission
-# plane, the replication plane, the observability plane and the mcnt
-# transport first: the kernel's token-passing handoff plus the
-# concurrency-heavy breaker/loadgen/forwarder/tracer/retransmit interplay
-# mean a race in these packages fails fast before the full suite spins up.
-echo ">> go test -race ./internal/sim ./internal/admit ./internal/serve ./internal/replica ./internal/obs ./internal/mcnt"
-go test -race ./internal/sim ./internal/admit ./internal/serve ./internal/replica ./internal/obs ./internal/mcnt
+# plane, the replication plane, the observability plane, the mcnt
+# transport and the near-memory operator layer first: the kernel's
+# token-passing handoff plus the concurrency-heavy
+# breaker/loadgen/forwarder/tracer/retransmit interplay mean a race in
+# these packages fails fast before the full suite spins up.
+echo ">> go test -race ./internal/sim ./internal/admit ./internal/serve ./internal/replica ./internal/obs ./internal/mcnt ./internal/nmop"
+go test -race ./internal/sim ./internal/admit ./internal/serve ./internal/replica ./internal/obs ./internal/mcnt ./internal/nmop
 
 # The long simulation packages (contutto's NIOS-II bulk transfer, the MPI
 # suite) multiply by the race detector's overhead; on a loaded machine

@@ -41,6 +41,7 @@ BEGIN {
     f[pre "/internal/memmap"] = 88
     f[pre "/internal/mpi"] = 84
     f[pre "/internal/netstack"] = 84
+    f[pre "/internal/nmop"] = 85
     f[pre "/internal/node"] = 81
     f[pre "/internal/npb"] = 94
     f[pre "/internal/obs"] = 85
