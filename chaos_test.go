@@ -432,3 +432,75 @@ func TestFaultReplayDeterminism(t *testing.T) {
 		t.Fatal("different seed replayed the exact same completion time; injection looks seed-independent")
 	}
 }
+
+// TestTimelineFaultReplayDeterminism is the continuous-telemetry chaos
+// gate: the DIMM-flap A/B with the windowed timeline attached must (a)
+// detect and attribute the injected flap on the unprotected variant with
+// stable detection/recovery stamps, and (b) replay byte-identically —
+// every variant's timeline JSON artifact, incident report and the
+// rendered experiment — across reruns of the same seed.
+func TestTimelineFaultReplayDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timeline fault-replay run skipped in -short mode")
+	}
+	run := func(seed uint64) (*mcn.ServeTimelineResult, [][]byte, []string) {
+		r := mcn.ServeTimeline(seed)
+		var jsons [][]byte
+		var reports []string
+		for _, v := range r.Variants {
+			var buf bytes.Buffer
+			if err := v.Timeline.WriteJSON(&buf); err != nil {
+				t.Fatal(err)
+			}
+			jsons = append(jsons, buf.Bytes())
+			reports = append(reports, v.Timeline.Report())
+		}
+		return r, jsons, reports
+	}
+	a, aj, ar := run(42)
+	if len(a.Variants) != 3 {
+		t.Fatalf("variants: %d", len(a.Variants))
+	}
+
+	// The unprotected variant must fire, attribute the burn to the
+	// injected flap, and carry both detection and recovery stamps.
+	off := a.Variants[0]
+	incs := off.Timeline.Incidents()
+	if len(incs) == 0 {
+		t.Fatal("unprotected variant saw the flap but the monitor never fired")
+	}
+	if want := a.FlapDimm + " offline"; incs[0].Cause != want {
+		t.Fatalf("incident cause %q, want %q", incs[0].Cause, want)
+	}
+	if incs[0].FaultStartPs != int64(a.FlapStart) || incs[0].FaultEndPs != int64(a.FlapEnd) {
+		t.Fatalf("incident joined the wrong fault window: %+v", incs[0])
+	}
+	if off.DetectNs < 0 || off.RecoverNs < 0 || off.BurnNs <= 0 {
+		t.Fatalf("detection/recovery unstamped: detect=%v recover=%v burn=%v",
+			off.DetectNs, off.RecoverNs, off.BurnNs)
+	}
+	if len(off.Timeline.Alerts())%2 != 0 {
+		t.Fatalf("unpaired alert stream: %+v", off.Timeline.Alerts())
+	}
+
+	// Byte-identical replay: artifacts, reports, and the rendered table.
+	b, bj, br := run(42)
+	for i := range aj {
+		if !bytes.Equal(aj[i], bj[i]) {
+			t.Fatalf("variant %s timeline JSON differs across replays", a.Variants[i].Name)
+		}
+		if ar[i] != br[i] {
+			t.Fatalf("variant %s incident report differs across replays:\n%s\nvs\n%s",
+				a.Variants[i].Name, ar[i], br[i])
+		}
+	}
+	if a.String() != b.String() {
+		t.Fatalf("same seed, different timeline experiment:\n%s\nvs\n%s", a, b)
+	}
+
+	// A different seed must not replay the identical artifact.
+	_, cj, _ := run(43)
+	if bytes.Equal(aj[0], cj[0]) {
+		t.Fatal("different seed replayed the identical timeline bytes")
+	}
+}

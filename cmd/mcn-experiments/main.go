@@ -18,7 +18,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "", "which figure/table to regenerate: 8a, 8b, 8c, t3, 9, 10, 11, faults, serve, serve-batch, serve-faults, serve-admit, serve-repl, serve-attrib, serve-mcnt, serve-ops, serve-ops-faults, all")
+	fig := flag.String("fig", "", "which figure/table to regenerate: 8a, 8b, 8c, t3, 9, 10, 11, faults, serve, serve-batch, serve-faults, serve-admit, serve-repl, serve-attrib, serve-mcnt, serve-ops, serve-ops-faults, serve-timeline, all")
 	headline := flag.Bool("headline", false, "compute the abstract's headline numbers")
 	discussion := flag.Bool("discussion", false, "run the Sec. VII TCP-overhead / fast-transport comparison")
 	scale := flag.Float64("scale", float64(mcn.QuickScale), "working-set multiplier for figs 9-11")
@@ -72,6 +72,8 @@ func main() {
 			fmt.Print(mcn.ServeOps(*seed))
 		case "serve-ops-faults":
 			fmt.Print(mcn.ServeFaultsOps(*seed))
+		case "serve-timeline":
+			fmt.Print(mcn.ServeTimeline(*seed))
 		default:
 			fmt.Fprintf(os.Stderr, "unknown figure %q\n", f)
 			os.Exit(2)

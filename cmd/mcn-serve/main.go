@@ -7,14 +7,18 @@
 //	mcn-serve -topo mcn5 -rate 400000            # one run, human-readable
 //	mcn-serve -topo 10gbe -rate 400000 -json     # one run, JSON
 //	mcn-serve -trace trace.json -metrics m.json  # one traced run + artifacts
+//	mcn-serve -timeline tl.json                  # windowed timeline + incidents
 //	mcn-serve -curve                             # full latency-vs-load sweep
 //	mcn-serve -curve -check BENCH_serve.json     # sweep + regression check
 //	mcn-serve -bench -out BENCH_serve.json       # qps-at-SLO per topology
 //
 // -trace writes a Perfetto/Chrome trace-event JSON (load it at
-// ui.perfetto.dev) of the sampled request spans; -metrics writes the
-// unified metrics-registry snapshot. Tracing never perturbs the
-// simulation, so a traced run's telemetry matches the untraced run's.
+// ui.perfetto.dev) of the sampled request spans plus metrics/timeline
+// counter tracks; -metrics writes the unified metrics-registry
+// snapshot; -timeline writes the windowed time-series (per-1ms window
+// qps, tails, queue depths, subsystem series) with the SLO burn-rate
+// alerts and attributed incidents. Observation never perturbs the
+// simulation, so an observed run's telemetry matches the plain run's.
 //
 // Every run is seeded; the same -seed replays bit-identically.
 package main
@@ -222,6 +226,7 @@ func main() {
 	traceOut := flag.String("trace", "", "single run: write a Perfetto/Chrome trace-event JSON of sampled request spans to this file")
 	sample := flag.Int("sample", 1, "1-in-N span sampling rate for -trace/-metrics (1 traces every request)")
 	metricsOut := flag.String("metrics", "", "single run: write the metrics-registry snapshot JSON to this file")
+	timelineOut := flag.String("timeline", "", "single run: write the windowed timeline JSON (per-1ms qps/tails/queue/subsystem series, burn-rate alerts, attributed incidents) to this file")
 	check := flag.String("check", "", "with -curve: compare the swept points against this BENCH_serve.json and exit non-zero on drift")
 	replCheck := flag.String("replcheck", "", "re-run the replicated DIMM-flap A/B and compare against this BENCH_serve.json's faults section, exiting non-zero on drift")
 	opsCheck := flag.String("opscheck", "", "re-run the near-memory operator smoke sweep and compare against this BENCH_serve.json's ops section, exiting non-zero on drift or a failed savings/decision claim")
@@ -297,11 +302,13 @@ func main() {
 		value, text = r, r.String()
 	default:
 		var res *mcn.ServeResult
-		if *traceOut != "" || *metricsOut != "" {
+		if *traceOut != "" || *metricsOut != "" || *timelineOut != "" {
 			tr := mcn.ServeTraced(*seed, *topo, *rate, *workers, *sample)
 			res = tr.Result
-			writeArtifact(*traceOut, tr.Tracer.WritePerfetto)
+			ct := mcn.CombinedTrace{Tracer: tr.Tracer, Snapshot: tr.Snapshot, Timeline: tr.Timeline}
+			writeArtifact(*traceOut, ct.Write)
 			writeArtifact(*metricsOut, tr.Snapshot.WriteJSON)
+			writeArtifact(*timelineOut, tr.Timeline.WriteJSON)
 		} else {
 			res = mcn.ServeOnce(*seed, *topo, *rate, *workers)
 		}

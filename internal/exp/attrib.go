@@ -18,6 +18,10 @@ type ServeTraceResult struct {
 	Result   *serve.Result
 	Tracer   *obs.Tracer
 	Snapshot *obs.Snapshot
+	// Timeline is the windowed time-series of the run (1ms windows,
+	// finalized), feeding the -timeline artifact and the Perfetto
+	// counter tracks.
+	Timeline *obs.Timeline
 	// McntFabric is the mcnt fabric's traffic summary when the topology
 	// carried a "+mcnt" suffix; empty otherwise.
 	McntFabric string
@@ -75,18 +79,27 @@ func serveTraced(seed uint64, topo string, rate float64, closedWorkers, sampleN 
 		cfg.ClosedWorkers = closedWorkers
 		cfg.RatePerSec = 0
 	}
+	tl := obs.NewTimeline(k.Now(), obs.TimelineConfig{SLONs: DefaultServeSLONs})
 	if plan != nil {
 		if p := plan(k, &cfg); p != nil {
 			inject(faults.New(k, *p))
+			for _, fl := range p.DimmFlaps {
+				tl.AddFault(fl.Name, fl.Start, fl.End)
+			}
 		}
 	}
 	tr := obs.NewTracer(seed, sampleN, 0)
 	reg := obs.NewRegistry()
 	observe(tr)
-	cfg.Tracer, cfg.Metrics = tr, reg
+	cfg.Tracer, cfg.Metrics, cfg.Timeline = tr, reg, tl
+	if fab != nil {
+		fab.OnResend = tl.McntResent
+		fab.OnCreditStall = tl.McntCreditStall
+	}
 	res := serve.Run(k, cfg)
 	snap := reg.Snapshot(k.Now())
-	out := &ServeTraceResult{Topo: topo, Result: res, Tracer: tr, Snapshot: snap}
+	tl.Finalize()
+	out := &ServeTraceResult{Topo: topo, Result: res, Tracer: tr, Snapshot: snap, Timeline: tl}
 	if fab != nil {
 		out.McntFabric = fab.String()
 	}

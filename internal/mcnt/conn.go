@@ -83,6 +83,9 @@ func (c *Conn) Send(p *sim.Proc, data []byte) error {
 		}
 		avail := int(w - (c.sentB - c.grantB))
 		if avail <= 0 {
+			if f := c.ep.f; f.OnCreditStall != nil {
+				f.OnCreditStall(p.Now())
+			}
 			if !c.sendSig.WaitTimeout(p, c.ep.f.Pr.ProbeTimeout) {
 				c.l.sendCtl(p, KindProbe, c.stream)
 				c.ep.f.Probes++

@@ -76,6 +76,15 @@ type Fabric struct {
 	// Counters (fabric-wide, for figures and tests).
 	DataFrames, CtlFrames, Resent, Nacks, Probes int64
 	BytesSent                                    int64
+
+	// OnResend and OnCreditStall, when set, observe recovery activity
+	// (a go-back-N resend burst of n frames; a sender blocking on
+	// exhausted stream credit). They are plain func fields rather than
+	// an interface so the observability plane can subscribe without
+	// this package importing it; like every observation hook they must
+	// charge no simulated time and draw no randomness.
+	OnResend      func(at sim.Time, frames int)
+	OnCreditStall func(at sim.Time)
 }
 
 type streamPair struct{ dialer, acceptor *Conn }
@@ -442,6 +451,9 @@ func (l *linkEnd) resend(p *sim.Proc) {
 		}
 		l.ep.f.Resent++
 		l.adj.transmit(p, fr)
+	}
+	if n := len(l.unacked); n > 0 && l.ep.f.OnResend != nil {
+		l.ep.f.OnResend(p.Now(), n)
 	}
 	l.rxSinceCtl = 0
 	l.txLock.Release()

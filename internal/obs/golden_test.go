@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"github.com/mcn-arch/mcn/internal/exp"
+	"github.com/mcn-arch/mcn/internal/obs"
 )
 
 var update = flag.Bool("update", false, "rewrite golden trace files")
@@ -57,12 +58,19 @@ func TestPerfettoGolden(t *testing.T) {
 		}
 	}
 
-	path := filepath.Join("testdata", "golden_trace.json")
+	checkGolden(t, "golden_trace.json", buf.Bytes())
+}
+
+// checkGolden compares got against a committed testdata file, rewriting
+// it under -update.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
 	if *update {
 		if err := os.MkdirAll("testdata", 0o755); err != nil {
 			t.Fatal(err)
 		}
-		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -70,8 +78,80 @@ func TestPerfettoGolden(t *testing.T) {
 	if err != nil {
 		t.Fatalf("read golden (regenerate with -update): %v", err)
 	}
-	if !bytes.Equal(buf.Bytes(), want) {
-		t.Fatalf("trace diverged from golden file (len %d vs %d); regenerate with -update if intended",
-			buf.Len(), len(want))
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s diverged from golden file (len %d vs %d); regenerate with -update if intended",
+			name, len(got), len(want))
 	}
+}
+
+// TestMetricsGolden pins the stable-JSON metrics snapshot the same way:
+// the `mcn-serve -metrics` artifact of the small traced run is
+// byte-identical across runs and builds.
+func TestMetricsGolden(t *testing.T) {
+	r := exp.ServeTraced(1, "mcn5", 100e3, 0, 50)
+	var buf bytes.Buffer
+	if err := r.Snapshot.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		AtPs    int64            `json:"at_ps"`
+		Metrics []map[string]any `json:"metrics"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("metrics JSON invalid: %v", err)
+	}
+	if len(doc.Metrics) == 0 {
+		t.Fatal("snapshot carries no metrics")
+	}
+	checkGolden(t, "golden_metrics.json", buf.Bytes())
+}
+
+// TestCombinedTraceGolden pins the combined Perfetto artifact — spans
+// plus the registry's counter tracks plus the timeline's per-window
+// tracks — and, alongside it, the raw timeline JSON. Together with
+// TestPerfettoGolden (which renders the same run spans-only) this also
+// proves attaching the extra sources never perturbs the span bytes.
+func TestCombinedTraceGolden(t *testing.T) {
+	r := exp.ServeTraced(1, "mcn5", 100e3, 0, 50)
+	var buf bytes.Buffer
+	ct := obs.PerfettoTrace{Tracer: r.Tracer, Snapshot: r.Snapshot, Timeline: r.Timeline}
+	if err := ct.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Schema sanity: counter events join the span/metadata envelope.
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("combined trace JSON invalid: %v", err)
+	}
+	counters := 0
+	for _, e := range doc.TraceEvents {
+		ph, _ := e["ph"].(string)
+		switch ph {
+		case "M", "X":
+		case "C":
+			counters++
+			args, ok := e["args"].(map[string]any)
+			if !ok {
+				t.Fatalf("counter without args: %v", e)
+			}
+			if _, ok := args["value"].(float64); !ok {
+				t.Fatalf("counter without value: %v", e)
+			}
+		default:
+			t.Fatalf("bad ph: %v", e)
+		}
+	}
+	if counters == 0 {
+		t.Fatal("combined trace carries no counter tracks")
+	}
+	checkGolden(t, "golden_combined.json", buf.Bytes())
+
+	var tlb bytes.Buffer
+	if err := r.Timeline.WriteJSON(&tlb); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "golden_timeline.json", tlb.Bytes())
 }

@@ -19,19 +19,24 @@ import (
 // decimals is exact), which keeps the artifact byte-identical across
 // replays — the same property every other artifact in this repo has.
 
-// Trace-event process ids, one per component of the request path.
+// Trace-event process ids, one per component of the request path, plus
+// two counter-track processes (registry snapshot, windowed timeline).
 const (
-	pidClient  = 1 // load drivers: whole request, ClientQueue, BatchWait
-	pidHost    = 2 // host TCP stack + return path
-	pidChannel = 3 // MCN SRAM channel: Wire, ChannelWait
-	pidDimm    = 4 // DIMM driver + kvstore: DimmIRQ, DimmService
+	pidClient   = 1 // load drivers: whole request, ClientQueue, BatchWait
+	pidHost     = 2 // host TCP stack + return path
+	pidChannel  = 3 // MCN SRAM channel: Wire, ChannelWait
+	pidDimm     = 4 // DIMM driver + kvstore: DimmIRQ, DimmService
+	pidMetrics  = 5 // registry snapshot scalars as counter tracks
+	pidTimeline = 6 // per-window timeline series as counter tracks
 )
 
 var pidNames = map[int]string{
-	pidClient:  "client",
-	pidHost:    "host-stack",
-	pidChannel: "mcn-channel",
-	pidDimm:    "dimm",
+	pidClient:   "client",
+	pidHost:     "host-stack",
+	pidChannel:  "mcn-channel",
+	pidDimm:     "dimm",
+	pidMetrics:  "metrics",
+	pidTimeline: "timeline",
 }
 
 // phaseTrack maps each phase to the process whose track shows it.
@@ -61,8 +66,29 @@ type traceThread struct {
 }
 
 // WritePerfetto renders the retained spans as a Chrome trace-event /
-// Perfetto JSON document.
+// Perfetto JSON document (spans only; combine with counter tracks via
+// PerfettoTrace).
 func (t *Tracer) WritePerfetto(w io.Writer) error {
+	return PerfettoTrace{Tracer: t}.Write(w)
+}
+
+// PerfettoTrace is the combined trace artifact: the sampled request
+// spans plus, when present, the metrics-registry snapshot and the
+// windowed timeline rendered as Perfetto counter ("C") tracks, so
+// slices and counters scrub together in one ui.perfetto.dev session.
+// Nil fields are simply omitted; a spans-only PerfettoTrace writes
+// byte-for-byte what Tracer.WritePerfetto always wrote.
+type PerfettoTrace struct {
+	Tracer   *Tracer
+	Snapshot *Snapshot
+	Timeline *Timeline
+}
+
+// Write renders the combined trace-event JSON document. Emission order,
+// field order and float formatting are fixed, so the artifact is
+// byte-identical across replays of the same seed.
+func (pt PerfettoTrace) Write(w io.Writer) error {
+	t := pt.Tracer
 	if t == nil {
 		return fmt.Errorf("obs: nil tracer")
 	}
@@ -103,9 +129,17 @@ func (t *Tracer) WritePerfetto(w io.Writer) error {
 		first = false
 		bw.printf("\n"+format, args...)
 	}
-	// Metadata: process and thread names.
+	// Metadata: process and thread names. The counter processes only
+	// exist when their sources are attached, keeping the spans-only
+	// artifact byte-for-byte what it was before counter tracks existed.
 	for pid := pidClient; pid <= pidDimm; pid++ {
 		emit(`{"ph":"M","pid":%d,"tid":0,"name":"process_name","args":{"name":%q}}`, pid, pidNames[pid])
+	}
+	if pt.Snapshot != nil {
+		emit(`{"ph":"M","pid":%d,"tid":0,"name":"process_name","args":{"name":%q}}`, pidMetrics, pidNames[pidMetrics])
+	}
+	if pt.Timeline != nil {
+		emit(`{"ph":"M","pid":%d,"tid":0,"name":"process_name","args":{"name":%q}}`, pidTimeline, pidNames[pidTimeline])
 	}
 	for _, k := range keys {
 		emit(`{"ph":"M","pid":%d,"tid":%d,"name":"thread_name","args":{"name":%q}}`, k[0], k[1], threads[k])
@@ -161,6 +195,54 @@ func (t *Tracer) WritePerfetto(w io.Writer) error {
 					pid, tid, usec(at), usecDur(d), ph.String(), sp.ID)
 			}
 			at = at.Add(d)
+		}
+	}
+	// Registry snapshot: every scalar metric becomes one counter sample
+	// at the snapshot's timestamp (sorted name order is the snapshot's
+	// own invariant). HDR summaries export their p99.
+	if s := pt.Snapshot; s != nil {
+		for _, m := range s.Metrics {
+			if m.HDR != nil {
+				emit(`{"ph":"C","pid":%d,"tid":0,"ts":%s,"name":%q,"args":{"value":%g}}`,
+					pidMetrics, usec(sim.Time(s.AtPs)), m.Name+"/p99", m.HDR.P99)
+				continue
+			}
+			emit(`{"ph":"C","pid":%d,"tid":0,"ts":%s,"name":%q,"args":{"value":%d}}`,
+				pidMetrics, usec(sim.Time(s.AtPs)), m.Name, m.Value)
+		}
+	}
+	// Timeline: the headline per-window aggregates plus every recorded
+	// series, one counter sample per window at its left edge.
+	if tl := pt.Timeline; tl != nil {
+		tl.Finalize()
+		names := tl.SeriesNames()
+		for _, tw := range tl.Windows() {
+			ts := usec(tl.Start().Add(sim.Duration(tw.Index) * tl.Config().Interval))
+			cInt := func(name string, v int64) {
+				emit(`{"ph":"C","pid":%d,"tid":0,"ts":%s,"name":%q,"args":{"value":%d}}`,
+					pidTimeline, ts, name, v)
+			}
+			cFloat := func(name string, v float64) {
+				emit(`{"ph":"C","pid":%d,"tid":0,"ts":%s,"name":%q,"args":{"value":%g}}`,
+					pidTimeline, ts, name, v)
+			}
+			cInt("completed", tw.Completed)
+			cInt("errors", tw.Errors)
+			cInt("shed", tw.Shed)
+			cInt("rerouted", tw.Rerouted)
+			cInt("failed_over", tw.FailedOver)
+			cInt("slo_violations", tw.SLOViol)
+			cInt("queue_max", tw.QueueMax)
+			cInt("breakers_open", tw.BreakersOpen)
+			cFloat("short_burn", tw.ShortBurn)
+			if tw.Lat.N() > 0 {
+				cFloat("p99_ns", tw.Lat.Quantile(0.99))
+			}
+			for _, n := range names {
+				if v, ok := tl.series[n].at(tw.Index); ok {
+					cInt(n, v)
+				}
+			}
 		}
 	}
 	bw.printf("\n]}\n")

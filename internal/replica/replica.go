@@ -161,6 +161,26 @@ type Manager struct {
 	// FwdLat is the forward-path latency histogram (enqueue to backup
 	// ack, ns) — the measured replication lag.
 	FwdLat stats.HDR
+	// tl, when set, receives the aggregate forward-backlog gauge at
+	// every backlog mutation (nil-safe, zero-perturbation).
+	tl *obs.Timeline
+}
+
+// SetTimeline attaches a timeline to sample the total forward backlog
+// (queued + in-flight records across all pairs) as the "repl/backlog"
+// gauge; nil detaches.
+func (m *Manager) SetTimeline(tl *obs.Timeline) { m.tl = tl }
+
+// noteBacklog samples the aggregate backlog into the timeline.
+func (m *Manager) noteBacklog(at sim.Time) {
+	if m.tl == nil {
+		return
+	}
+	var total int64
+	for i := range m.pairs {
+		total += int64(m.Pending(i))
+	}
+	m.tl.Sample("repl/backlog", at, total)
 }
 
 // NewManager builds the replication plane over the given pairs, hooks
@@ -292,6 +312,7 @@ func (f *pairFwd) Forward(p *sim.Proc, rec kvstore.ReplRecord, sync bool) bool {
 	if n := int64(m.Pending(ps.Index)); n > m.counters.MaxPending {
 		m.counters.MaxPending = n
 	}
+	m.noteBacklog(p.Now())
 	ps.wake.Notify()
 	if !sync {
 		return true
@@ -370,6 +391,7 @@ func (m *Manager) forwarder(p *sim.Proc, ps *pairState) {
 		ps.inflight = nil
 		ps.unpend(it.rec.Key)
 		m.counters.Acks++
+		m.noteBacklog(p.Now())
 		m.FwdLat.RecordDuration(p.Now().Sub(it.enq))
 		if it.done != nil {
 			it.acked = true

@@ -96,6 +96,13 @@ type Config struct {
 	// (counters, per-phase HDRs, per-shard kvstore gauges) at collect
 	// time, for a deterministic end-of-run snapshot.
 	Metrics *obs.Registry
+	// Timeline, when set, buckets request outcomes, queue depths and
+	// cross-subsystem counters into fixed sim-time windows (internal/obs
+	// Timeline): the continuous-telemetry view behind the SLO burn-rate
+	// monitor and incident attribution. Like the tracer it charges no
+	// simulated time and draws no randomness, so a timeline-on run is
+	// event-identical to a timeline-off one.
+	Timeline *obs.Timeline
 	// Warmup requests are issued but not measured; Measure is the
 	// recorded window; Drain lets in-flight tails complete before the
 	// run is cut off and stragglers are counted as unfinished.
@@ -536,9 +543,13 @@ func Run(k *sim.Kernel, cfg Config) *Result {
 			}
 		}
 		b.repl = replica.NewManager(k, rc, cfg.Seed, b.ctrl, pairs)
+		b.repl.SetTimeline(cfg.Timeline)
 		b.res.ReplOn = true
 		b.res.Repl = b.repl
 	}
+	// The timeline's per-window phase means come from finished spans, so
+	// they exist exactly when a tracer runs alongside (both are nil-safe).
+	cfg.Tracer.SetTimeline(cfg.Timeline)
 
 	// Resolve every key's shard once, and preload the stores (both
 	// replicas, so they start converged at version zero) so the measured
@@ -756,6 +767,7 @@ func (b *bench) enqueue(p *sim.Proc, ci int, req *request) bool {
 					b.res.Shed++
 					b.res.PerShard[req.shard].Shed++
 				}
+				b.cfg.Timeline.NoteShed(req.arrival)
 				b.cfg.Tracer.Abort(req.span)
 				return false
 			}
@@ -764,6 +776,7 @@ func (b *bench) enqueue(p *sim.Proc, ci int, req *request) bool {
 				b.res.FailedOver++
 				b.res.PerShard[req.shard].FailedOver++
 			}
+			b.cfg.Timeline.NoteFailedOver(req.arrival)
 			if req.span != nil {
 				req.span.FailedOver = true
 			}
@@ -789,6 +802,7 @@ func (b *bench) enqueue(p *sim.Proc, ci int, req *request) bool {
 				b.res.Shed++
 				b.res.PerShard[req.shard].Shed++
 			}
+			b.cfg.Timeline.NoteShed(req.arrival)
 			// A shed request never reaches the wire; its span ends here.
 			b.cfg.Tracer.Abort(req.span)
 			return false
@@ -800,6 +814,7 @@ func (b *bench) enqueue(p *sim.Proc, ci int, req *request) bool {
 				b.res.Rerouted++
 				b.res.PerShard[target].Rerouted++
 			}
+			b.cfg.Timeline.NoteRerouted(req.arrival)
 			if req.span != nil {
 				req.span.Rerouted = true
 			}
@@ -812,6 +827,8 @@ func (b *bench) enqueue(p *sim.Proc, ci int, req *request) bool {
 		b.res.PerShard[req.shard].Issued++
 	}
 	b.res.PerShard[req.shard].IssuedEver++
+	b.cfg.Timeline.NoteIssued(req.arrival)
+	b.cfg.Timeline.QueueDelta(req.arrival, 1)
 	if req.failover {
 		b.bconns[ci][req.shard].q.Put(p, req)
 	} else {
@@ -874,6 +891,7 @@ func (sc *shardConn) run(p *sim.Proc) {
 		if !ok {
 			return
 		}
+		sc.b.cfg.Timeline.QueueDelta(p.Now(), -1)
 		if sc.dead {
 			sc.fail(p, req)
 			continue
@@ -905,6 +923,7 @@ func (sc *shardConn) run(p *sim.Proc) {
 					break
 				}
 			}
+			sc.b.cfg.Timeline.QueueDelta(p.Now(), -1)
 			r.deq = p.Now()
 			batch = append(batch, r)
 			size += sc.reqBytes(r)
@@ -1010,6 +1029,11 @@ func (sc *shardConn) complete(p *sim.Proc, req *request, status byte, respBytes 
 	if req.done != nil {
 		req.done.Notify()
 	}
+	if ok {
+		sc.b.cfg.Timeline.NoteComplete(now, int64(now.Sub(req.arrival)/sim.Nanosecond))
+	} else {
+		sc.b.cfg.Timeline.NoteError(now)
+	}
 	ss := sc.b.res.PerShard[req.shard]
 	if ok {
 		ss.DoneEver++
@@ -1047,6 +1071,7 @@ func (sc *shardConn) fail(p *sim.Proc, req *request) {
 
 // failCommon is the shared bookkeeping of both failure paths.
 func (sc *shardConn) failCommon(p *sim.Proc, req *request) {
+	sc.b.cfg.Timeline.NoteError(p.Now())
 	sc.b.cfg.Tracer.Abort(req.span)
 	if req.done != nil {
 		req.done.Notify()
@@ -1094,6 +1119,10 @@ func (b *bench) collect() {
 	if b.repl != nil {
 		b.res.ReplCounters = b.repl.Counters()
 		b.res.ReplEvents = b.repl.Events()
+	}
+	if tl := b.cfg.Timeline; tl != nil {
+		tl.SetAdmitEvents(b.res.AdmitEvents)
+		tl.SetReplEvents(b.res.ReplEvents)
 	}
 	b.publish()
 }

@@ -355,6 +355,11 @@ func (b *bench) issueOps(p *sim.Proc, ci int, gen *generator, smp *obs.Sampler, 
 			t.Host++
 		}
 	}
+	if lop.offloaded {
+		b.cfg.Timeline.Count("ops/offloaded", now, 1)
+	} else {
+		b.cfg.Timeline.Count("ops/host", now, 1)
+	}
 	lop.remaining = len(parts)
 	for _, part := range parts {
 		if !b.enqueue(p, ci, part) {

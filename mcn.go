@@ -614,6 +614,40 @@ type (
 	ServeAttribResult = exp.ServeAttribResult
 )
 
+// Continuous telemetry: the windowed time-series layer, the SLO
+// burn-rate monitor and the cross-subsystem incident attributor
+// (internal/obs Timeline).
+type (
+	// Timeline buckets request outcomes, queue depths and subsystem
+	// counters into fixed sim-time windows; Finalize derives burn-rate
+	// alerts and attributed incidents.
+	Timeline = obs.Timeline
+	// TimelineConfig tunes the window width, the SLO and the
+	// multi-window burn thresholds; zero fields take defaults.
+	TimelineConfig = obs.TimelineConfig
+	// TimelineWindow is one sampling interval's raw tallies.
+	TimelineWindow = obs.TimeWindow
+	// TimelineAlert is one burn-rate monitor transition.
+	TimelineAlert = obs.AlertEvent
+	// TimelineIncident is one attributed firing episode.
+	TimelineIncident = obs.Incident
+	// CombinedTrace renders spans, registry snapshot and timeline
+	// counter tracks into one Perfetto artifact.
+	CombinedTrace = obs.PerfettoTrace
+	// ServeTimelineResult is the flap A/B of detection latency, burn
+	// duration and recovery time across protection layers.
+	ServeTimelineResult = exp.ServeTimelineResult
+)
+
+// NewTimeline builds a timeline whose window zero opens at start.
+func NewTimeline(start Time, cfg TimelineConfig) *Timeline { return obs.NewTimeline(start, cfg) }
+
+// ServeTimeline runs the DIMM-flap serving experiment with the timeline
+// attached under admission off, re-route, and replication, attributing
+// each burn window to the injected fault. Replays byte-identically from
+// the seed.
+func ServeTimeline(seed uint64) *ServeTimelineResult { return exp.ServeTimeline(seed) }
+
 // NewSpanTracer builds a span tracer: sampleN is the 1-in-N sampling rate
 // (<=1 traces everything), maxSpans bounds span retention (0 picks the
 // default). All randomness derives from seed.

@@ -48,8 +48,21 @@ go run ./cmd/mcn-serve -topo mcn5+batch+admit -rate 200000 -seed "$SEED" -json \
 cmp /tmp/mcn-smoke-plain.json /tmp/mcn-smoke-traced.json
 test -s /tmp/mcn-smoke-trace.json
 test -s /tmp/mcn-smoke-metrics.json
+
+# Timeline zero-perturbation guard: attaching the windowed timeline must
+# not move a single simulated event either — the timeline-on run's
+# telemetry is byte-identical to the plain run — and the timeline
+# artifact must be written, non-empty, and carry its windows array.
+echo ">> mcn-serve -topo mcn5+batch+admit ... -timeline (timeline zero-perturbation guard)"
+go run ./cmd/mcn-serve -topo mcn5+batch+admit -rate 200000 -seed "$SEED" -json \
+	-timeline /tmp/mcn-smoke-timeline.json -out /tmp/mcn-smoke-timelined.json
+cmp /tmp/mcn-smoke-plain.json /tmp/mcn-smoke-timelined.json
+test -s /tmp/mcn-smoke-timeline.json
+grep -q '"windows"' /tmp/mcn-smoke-timeline.json
+
 cat /tmp/mcn-smoke-plain.json
-rm -f /tmp/mcn-smoke-plain.json /tmp/mcn-smoke-traced.json /tmp/mcn-smoke-trace.json /tmp/mcn-smoke-metrics.json
+rm -f /tmp/mcn-smoke-plain.json /tmp/mcn-smoke-traced.json /tmp/mcn-smoke-trace.json /tmp/mcn-smoke-metrics.json \
+	/tmp/mcn-smoke-timelined.json /tmp/mcn-smoke-timeline.json
 
 # Near-memory operator guards. First the byte-identity gate: a run whose
 # config mentions the ops knobs but leaves them off must produce exactly

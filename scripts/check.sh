@@ -13,13 +13,21 @@ echo ">> go vet ./..."
 go vet ./...
 
 # Targeted race gate on the sim kernel, the serving tier, its admission
-# plane, the replication plane, the observability plane, the mcnt
-# transport and the near-memory operator layer first: the kernel's
-# token-passing handoff plus the concurrency-heavy
-# breaker/loadgen/forwarder/tracer/retransmit interplay mean a race in
-# these packages fails fast before the full suite spins up.
+# plane, the replication plane, the observability plane (spans, registry
+# and the windowed timeline/burn monitor), the mcnt transport and the
+# near-memory operator layer first: the kernel's token-passing handoff
+# plus the concurrency-heavy breaker/loadgen/forwarder/tracer/retransmit
+# interplay mean a race in these packages fails fast before the full
+# suite spins up.
 echo ">> go test -race ./internal/sim ./internal/admit ./internal/serve ./internal/replica ./internal/obs ./internal/mcnt ./internal/nmop"
 go test -race ./internal/sim ./internal/admit ./internal/serve ./internal/replica ./internal/obs ./internal/mcnt ./internal/nmop
+
+# The continuous-telemetry suite crosses package lines (serve hooks, exp
+# A/B, the root chaos replay gate), so race it explicitly as well: these
+# -run filters add the timeline tests that live outside the packages
+# above at a few seconds' cost.
+echo ">> go test -race -run 'Timeline|BurnMonitor' ./internal/exp ."
+go test -race -run 'Timeline|BurnMonitor' ./internal/exp .
 
 # The long simulation packages (contutto's NIOS-II bulk transfer, the MPI
 # suite) multiply by the race detector's overhead; on a loaded machine
